@@ -1,0 +1,202 @@
+// Benchmarks regenerating each table and figure of the paper at reduced
+// scale: one benchmark per experiment, so `go test -bench=. -benchmem`
+// exercises the full reproduction pipeline. EXPERIMENTS.md records the
+// full-scale paper-versus-measured numbers; these benchmarks measure the
+// cost of regenerating them.
+package srcsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"srcsim/internal/core"
+	"srcsim/internal/devrun"
+	"srcsim/internal/harness"
+	"srcsim/internal/ssd"
+)
+
+// Shared trained models: training is part of the pipeline but would
+// drown per-experiment timings if repeated every iteration, so each
+// benchmark that needs a TPM amortises it through a sync.Once.
+var (
+	tpmOnce sync.Once
+	tpmCong *core.TPM
+	tpmFig9 *core.TPM
+	tpmErr  error
+)
+
+func benchTPMs(b *testing.B) (*core.TPM, *core.TPM) {
+	b.Helper()
+	tpmOnce.Do(func() {
+		tpmCong, _, tpmErr = harness.TrainCongestionTPM(1000, 42)
+		if tpmErr != nil {
+			return
+		}
+		tpmFig9, _, tpmErr = devrun.TrainTPM(harness.Fig9Config(), 1000, 43)
+	})
+	if tpmErr != nil {
+		b.Fatal(tpmErr)
+	}
+	return tpmCong, tpmFig9
+}
+
+// BenchmarkFig2Motivation regenerates the Fig. 2 analytic motivation
+// table (9 -> 6 -> 9 IOPS across the three scenarios).
+func BenchmarkFig2Motivation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig2Motivation(harness.DefaultFig2Params())
+		if rows[2].Aggregate != rows[0].Aggregate {
+			b.Fatal("SRC must preserve the aggregate")
+		}
+	}
+}
+
+// BenchmarkFig5WeightSweep regenerates a reduced Fig. 5 grid (all 16
+// workload cells at w in {1, 4, 8}) on SSD-A.
+func BenchmarkFig5WeightSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Fig5WeightSweep(ssd.ConfigA(), []int{1, 4, 8}, 1200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 48 {
+			b.Fatalf("cells %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkTableIRegressors regenerates the five-regressor accuracy
+// comparison on SSD-A micro samples.
+func BenchmarkTableIRegressors(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableI(ssd.ConfigA(), 1000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableIIICrossValidation regenerates the grouped
+// cross-validation over the four synthetic workload classes.
+func BenchmarkTableIIICrossValidation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableIII(ssd.ConfigA(), 800, 16, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig7Throughput regenerates the Sec. IV-D congestion A/B run
+// (DCQCN-only vs DCQCN-SRC on the VDI-like workload).
+func BenchmarkFig7Throughput(b *testing.B) {
+	tpm, _ := benchTPMs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig7Throughput(tpm, 800, uint64(7+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SRC.Completed != res.SRC.Submitted {
+			b.Fatal("incomplete run")
+		}
+	}
+}
+
+// BenchmarkFig8PauseNumber measures the same paired run but validates
+// the pause-number series (Fig. 8's metric) is populated.
+func BenchmarkFig8PauseNumber(b *testing.B) {
+	tpm, _ := benchTPMs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig7Throughput(tpm, 800, uint64(17+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, p := range res.Baseline.Pauses {
+			total += p
+		}
+		if total == 0 {
+			b.Fatal("no pauses recorded")
+		}
+	}
+}
+
+// BenchmarkFig9DynamicControl regenerates the dynamic-adjustment
+// experiment: four synthetic congestion events on the SSD-B array.
+func BenchmarkFig9DynamicControl(b *testing.B) {
+	_, tpm := benchTPMs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9DynamicControl(tpm, nil, 0, uint64(5+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Events) != 4 {
+			b.Fatal("event count")
+		}
+	}
+}
+
+// BenchmarkFig10Intensity regenerates the light/moderate/heavy
+// sensitivity comparison.
+func BenchmarkFig10Intensity(b *testing.B) {
+	tpm, _ := benchTPMs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig10Intensity(tpm, 0.04, uint64(13+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkTableIVIncast regenerates the in-cast ratio analysis
+// (2:1, 3:1, 4:1, 4:4).
+func BenchmarkTableIVIncast(b *testing.B) {
+	tpm, _ := benchTPMs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableIV(tpm, nil, 0.05, uint64(11+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkTPMTraining measures the full training-sample collection and
+// random-forest fit for the congestion TPM.
+func BenchmarkTPMTraining(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tpm, _, err := harness.TrainCongestionTPM(800, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tpm.Trained() {
+			b.Fatal("untrained")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command dynctl regenerates Fig. 9: SRC's dynamic weight adjustment
+// under a schedule of synthetic congestion events, reporting the runtime
+// read/write throughput and the per-event convergence delay.
+//
+// Usage:
+//
+//	dynctl [-train 2000] [-seed 5]
+//	dynctl -events 60:6,100:3,140:6,180:10   (ms:Gbps pairs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"srcsim/internal/devrun"
+	"srcsim/internal/harness"
+	"srcsim/internal/sim"
+)
+
+func parseEvents(s string) ([]harness.RateEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []harness.RateEvent
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad event %q (want ms:Gbps)", part)
+		}
+		ms, err := strconv.ParseFloat(kv[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad event time %q: %v", kv[0], err)
+		}
+		gbps, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad event rate %q: %v", kv[1], err)
+		}
+		out = append(out, harness.RateEvent{
+			At:         sim.Time(ms * float64(sim.Millisecond)),
+			DemandGbps: gbps,
+		})
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dynctl: ")
+
+	trainCount := flag.Int("train", 2000, "per-direction request count for TPM training runs")
+	seed := flag.Uint64("seed", 5, "workload seed")
+	eventsFlag := flag.String("events", "", "comma-separated ms:Gbps congestion events (default: the paper's 60:6,100:3,140:6,180:10)")
+	flag.Parse()
+
+	events, err := parseEvents(*eventsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "training TPM (Fig. 9 SSD-B variant)...")
+	tpm, samples, err := devrun.TrainTPM(harness.Fig9Config(), *trainCount, *seed^0xd1c7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d samples in %v\n", len(samples), time.Since(start))
+
+	res, err := harness.Fig9DynamicControl(tpm, events, 0, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.FprintFig9(os.Stdout, res)
+}

@@ -1,0 +1,148 @@
+// Command srcsim runs the integrated DCQCN-only versus DCQCN-SRC
+// experiments of the paper's evaluation: the motivation example (Fig. 2),
+// the VDI congestion timeline (Figs. 7 and 8), the workload-intensity
+// sensitivity study (Fig. 10), and the in-cast ratio analysis (Table IV).
+//
+// Usage:
+//
+//	srcsim -experiment fig7 [-requests 2000] [-seed 7] [-train 1500]
+//	srcsim -experiment table4 [-seconds 0.08]
+//	srcsim -experiment fig10 [-seconds 0.06]
+//	srcsim -experiment fig2
+//	srcsim -trace my.csv            (replay a tracegen CSV under both modes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"srcsim/internal/cluster"
+	"srcsim/internal/core"
+	"srcsim/internal/harness"
+	"srcsim/internal/netsim"
+	"srcsim/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("srcsim: ")
+
+	experiment := flag.String("experiment", "fig7", "fig2 | fig7 | fig10 | table4")
+	requests := flag.Int("requests", 2000, "write-request count for fig7 (reads get 2x)")
+	seconds := flag.Float64("seconds", 0.06, "trace length in seconds for fig10/table4")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	trainCount := flag.Int("train", 1500, "per-direction request count for TPM training runs")
+	traceFile := flag.String("trace", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
+	cc := flag.String("cc", "dcqcn", "congestion control: dcqcn | timely | none")
+	format := flag.String("format", "csv", "trace file format for -trace: csv (tracegen) | msr (MSR Cambridge / SNIA)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -trace replays")
+	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
+	flag.Parse()
+
+	var ccAlg netsim.CCAlg
+	switch *cc {
+	case "dcqcn":
+		ccAlg = netsim.CCDCQCN
+	case "timely":
+		ccAlg = netsim.CCTIMELY
+	case "none":
+		ccAlg = netsim.CCNone
+	default:
+		log.Fatalf("unknown congestion control %q", *cc)
+	}
+
+	if *experiment == "fig2" {
+		harness.FprintFig2(os.Stdout, harness.Fig2Motivation(harness.DefaultFig2Params()))
+		return
+	}
+
+	var tpm *core.TPM
+	if *tpmPath != "" {
+		f, err := os.Open(*tpmPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tpm, err = core.LoadTPM(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded TPM from %s\n", *tpmPath)
+	} else {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "training TPM (SSD-A target array)...\n")
+		var samples []core.Sample
+		var err error
+		tpm, samples, err = harness.TrainCongestionTPM(*trainCount, *seed^0xbeef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained on %d samples in %v\n", len(samples), time.Since(start))
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tr *trace.Trace
+		switch *format {
+		case "csv":
+			tr, err = trace.ReadCSV(f)
+		case "msr":
+			tr, err = trace.ReadMSR(f)
+		default:
+			log.Fatalf("unknown trace format %q", *format)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := harness.CongestionSpec()
+		spec.Net.CC = ccAlg
+		base, src, err := cluster.CompareModes(spec, tpm, tr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range []*cluster.Result{base, src} {
+			if *jsonOut {
+				if err := r.WriteJSON(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			fmt.Printf("%-11s read %5.2f Gbps | write %5.2f Gbps | aggregated %5.2f Gbps | p50/p99 read lat %.2f/%.2f ms | pauses %d\n",
+				r.Mode, r.MeanReadGbps, r.MeanWriteGbps, r.AggregatedGbps,
+				r.ReadLatencyP50Ms, r.ReadLatencyP99Ms, r.TotalCNPs)
+		}
+		return
+	}
+
+	switch *experiment {
+	case "fig7":
+		res, err := harness.Fig7ThroughputCC(tpm, *requests, *seed, ccAlg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.FprintFig7(os.Stdout, res)
+		fmt.Println()
+		harness.FprintFig8(os.Stdout, res)
+	case "fig10":
+		rows, err := harness.Fig10Intensity(tpm, *seconds, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.FprintFig10(os.Stdout, rows)
+	case "table4":
+		rows, err := harness.TableIV(tpm, nil, *seconds, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.FprintTableIV(os.Stdout, rows)
+	default:
+		log.Fatalf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
+	}
+}

@@ -1,0 +1,107 @@
+// Command tpmtrain trains and evaluates the throughput prediction model:
+// the five-regressor comparison of Table I, the grouped cross-validation
+// of Table III, and the Breiman feature-importance analysis of
+// Sec. III-B.
+//
+// Usage:
+//
+//	tpmtrain -table1 [-ssd A] [-count 2500] [-seed 1]
+//	tpmtrain -table3 [-traces 24]
+//	tpmtrain -importance
+//	tpmtrain -save tpm.bin -array  (persist a model for srcsim -tpm; -array
+//	                                matches the congestion testbed's device)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"srcsim/internal/devrun"
+	"srcsim/internal/harness"
+	"srcsim/internal/ssd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpmtrain: ")
+
+	table1 := flag.Bool("table1", false, "run the Table I regressor comparison")
+	table3 := flag.Bool("table3", false, "run the Table III grouped cross-validation")
+	importance := flag.Bool("importance", false, "report TPM feature importances")
+	device := flag.String("ssd", "A", "Table II device: A, B, or C")
+	count := flag.Int("count", 2500, "requests per direction per training run")
+	traces := flag.Int("traces", 24, "synthetic pool size for table3")
+	seed := flag.Uint64("seed", 1, "seed")
+	save := flag.String("save", "", "train a TPM on the chosen device and write it to this path")
+	array := flag.Bool("array", false, "use the harness target-array geometry (4ch x 4 dies) — required for models fed to srcsim -tpm")
+	flag.Parse()
+
+	if !*table1 && !*table3 && !*importance && *save == "" {
+		*table1, *table3, *importance = true, true, true
+	}
+
+	var cfg ssd.Config
+	switch *device {
+	case "A":
+		cfg = ssd.ConfigA()
+	case "B":
+		cfg = ssd.ConfigB()
+	case "C":
+		cfg = ssd.ConfigC()
+	default:
+		log.Fatalf("unknown SSD %q (want A, B, or C)", *device)
+	}
+	if *array {
+		cfg = harness.TargetArrayConfig(cfg)
+	}
+
+	if *table1 {
+		rows, err := harness.TableI(cfg, *count, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.FprintTableI(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table3 {
+		rows, err := harness.TableIII(cfg, *count, *traces, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.FprintTableIII(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *save != "" {
+		tpm, samples, err := devrun.TrainTPM(cfg, *count, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tpm.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved TPM (%d training samples) to %s\n", len(samples), *save)
+	}
+	if *importance {
+		tpm, samples, err := devrun.TrainTPM(cfg, *count, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names, weights, ok := tpm.FeatureImportances()
+		if !ok {
+			log.Fatal("importances unavailable")
+		}
+		fmt.Printf("Breiman feature importances (%d training samples):\n", len(samples))
+		for i, n := range names {
+			fmt.Printf("  %-28s %.3f\n", n, weights[i])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command tracegen generates and inspects I/O workload traces: the
+// paper's micro traces (exponential inter-arrival and size), synthetic
+// MMPP traces fit to target statistics, and the VDI/CBS-like presets.
+// Traces are written as CSV (see internal/trace) for replay or external
+// analysis; -inspect prints the feature statistics of an existing trace.
+//
+// Usage:
+//
+//	tracegen -kind micro -count 5000 -ia 10us -size 32768 -o trace.csv
+//	tracegen -kind synthetic -ia-scv 4 -acf 0.2 -size-scv 2 -o bursty.csv
+//	tracegen -kind vdi -count 5000 -o vdi.csv
+//	tracegen -inspect trace.csv
+//	tracegen -inspect msr_trace.csv -format msr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+	"srcsim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	kind := flag.String("kind", "micro", "micro | synthetic | vdi | cbs")
+	count := flag.Int("count", 5000, "requests per direction")
+	ia := flag.Duration("ia", 10*time.Microsecond, "mean inter-arrival per direction")
+	size := flag.Int("size", 32<<10, "mean request size in bytes")
+	iaSCV := flag.Float64("ia-scv", 4.0, "inter-arrival SCV (synthetic)")
+	sizeSCV := flag.Float64("size-scv", 2.0, "request-size SCV (synthetic)")
+	acf := flag.Float64("acf", 0.2, "inter-arrival lag-1 autocorrelation (synthetic)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	inspect := flag.String("inspect", "", "print statistics of an existing trace file and exit")
+	format := flag.String("format", "csv", "format of the -inspect file: csv (tracegen) | msr (MSR Cambridge / SNIA)")
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		switch *format {
+		case "csv":
+			tr, err = trace.ReadCSV(f)
+		case "msr":
+			tr, err = trace.ReadMSR(f)
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := trace.Extract(tr)
+		fmt.Printf("%s\n", s)
+		fmt.Printf("read:  n=%d meanSize=%.0fB sizeSCV=%.2f meanIA=%.1fus iaSCV=%.2f acf1=%.2f flow=%.2f MB/s\n",
+			s.Read.Count, s.Read.MeanSize, s.Read.SizeSCV,
+			s.Read.MeanInterArrival/1000, s.Read.InterArrivalSCV, s.Read.InterArrivalACF1,
+			s.Read.FlowSpeed/1e6)
+		fmt.Printf("write: n=%d meanSize=%.0fB sizeSCV=%.2f meanIA=%.1fus iaSCV=%.2f acf1=%.2f flow=%.2f MB/s\n",
+			s.Write.Count, s.Write.MeanSize, s.Write.SizeSCV,
+			s.Write.MeanInterArrival/1000, s.Write.InterArrivalSCV, s.Write.InterArrivalACF1,
+			s.Write.FlowSpeed/1e6)
+		return
+	}
+
+	var tr *trace.Trace
+	var err error
+	meanIA := sim.Time(ia.Nanoseconds())
+	switch *kind {
+	case "micro":
+		tr = workload.Micro(workload.MicroConfig{
+			Seed:      *seed,
+			ReadCount: *count, WriteCount: *count,
+			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
+			ReadMeanSize: *size, WriteMeanSize: *size,
+		})
+	case "synthetic":
+		tr, err = workload.Synthetic(workload.SyntheticConfig{
+			Seed:      *seed,
+			ReadCount: *count, WriteCount: *count,
+			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
+			ReadInterArrivalSCV: *iaSCV, WriteInterArrivalSCV: *iaSCV,
+			ReadACF1: *acf, WriteACF1: *acf,
+			ReadMeanSize: *size, WriteMeanSize: *size,
+			ReadSizeSCV: *sizeSCV, WriteSizeSCV: *sizeSCV,
+		})
+	case "vdi":
+		tr, err = workload.VDILike(*seed, *count)
+	case "cbs":
+		tr, err = workload.CBSLike(*seed, *count)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d requests (%s) to %s\n", tr.Len(), tr.Duration(), *out)
+	}
+}

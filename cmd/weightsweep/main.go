@@ -1,0 +1,50 @@
+// Command weightsweep regenerates Fig. 5: read/write throughput across
+// SSQ weight ratios for the 4×4 grid of micro workloads (inter-arrival
+// 10-25 µs × request size 10-40 KB) on a chosen Table II device.
+//
+// Usage:
+//
+//	weightsweep [-ssd A|B|C] [-count 2500] [-seed 1] [-maxw 8]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"srcsim/internal/harness"
+	"srcsim/internal/ssd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("weightsweep: ")
+
+	device := flag.String("ssd", "A", "Table II device: A, B, or C")
+	count := flag.Int("count", 2500, "requests per direction per cell")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	maxW := flag.Int("maxw", 8, "largest weight ratio to sweep")
+	flag.Parse()
+
+	var cfg ssd.Config
+	switch *device {
+	case "A":
+		cfg = ssd.ConfigA()
+	case "B":
+		cfg = ssd.ConfigB()
+	case "C":
+		cfg = ssd.ConfigC()
+	default:
+		log.Fatalf("unknown SSD %q (want A, B, or C)", *device)
+	}
+
+	ws := make([]int, 0, *maxW)
+	for w := 1; w <= *maxW; w++ {
+		ws = append(ws, w)
+	}
+	cells, err := harness.Fig5WeightSweep(cfg, ws, *count, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.FprintFig5(os.Stdout, cells)
+}

@@ -1,0 +1,15 @@
+// Package srcsim is a from-scratch reproduction of "SRC: Mitigate I/O
+// Throughput Degradation in Network Congestion Control of Disaggregated
+// Storage Systems" (Jia et al., 2023).
+//
+// The repository contains a deterministic discrete-event simulation stack
+// for NVMe-over-RDMA disaggregated storage: a packet-level network
+// simulator with DCQCN congestion control (internal/netsim,
+// internal/dcqcn), an MQSim-like multi-queue SSD simulator (internal/ssd,
+// internal/nvme), the NVMe-oF initiator/target glue (internal/nvmeof), a
+// small statistical machine-learning library (internal/ml), and the
+// paper's contribution — storage-side rate control — in internal/core.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package srcsim

@@ -1,0 +1,68 @@
+// dynamic_control demonstrates the SRC control loop (Alg. 1) in
+// isolation, using the core API directly: a workload monitor, a trained
+// TPM, and a controller driving an SSQ's weights from hand-written
+// congestion events — no network simulation involved.
+//
+// Run with: go run ./examples/dynamic_control
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srcsim/internal/core"
+	"srcsim/internal/devrun"
+	"srcsim/internal/harness"
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train a TPM for the Fig. 9 device (SSD-B variant).
+	fmt.Println("training TPM for the SSD-B array...")
+	tpm, _, err := devrun.TrainTPM(harness.Fig9Config(), 1500, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the control loop around a separate submission queue.
+	ssq := nvme.NewSSQ(1, 1)
+	ctl := core.NewController(core.ControllerConfig{
+		Window: 10 * sim.Millisecond,
+		Tau:    0.10,
+		MaxW:   32,
+	}, tpm, ssq)
+
+	// Feed the workload monitor a steady stream of 32 KB requests, half
+	// reads, half writes, 8 µs apart (what the monitor would observe on
+	// a busy target).
+	for i := 0; i < 5000; i++ {
+		op := trace.Read
+		if i%2 == 1 {
+			op = trace.Write
+		}
+		ctl.Monitor.Record(trace.Request{Op: op, Size: 32 << 10, LBA: uint64(i) << 15},
+			sim.Time(i)*8*sim.Microsecond)
+	}
+	now := sim.Time(5000) * 8 * sim.Microsecond
+
+	// Hand-written congestion events: the network demands progressively
+	// lower read rates (pause events), then releases (retrieval events).
+	fmt.Println("\ncongestion events -> chosen weight ratios:")
+	for i, demandGbps := range []float64{8, 6, 4, 2, 4, 8, 12} {
+		at := now + sim.Time(i+1)*5*sim.Millisecond
+		ctl.OnRateEvent(at, demandGbps*1e9)
+		readW, writeW := ssq.Weights()
+		fmt.Printf("  demand %5.1f Gbps -> SSQ weights read:%d write:%d (w=%.0f)\n",
+			demandGbps, readW, writeW, ssq.WeightRatio())
+	}
+
+	fmt.Println("\nadjustment log:")
+	for _, e := range ctl.Events {
+		fmt.Printf("  t=%-8v demanded %5.2f Gbps  w=%-2d  predicted read %.2f Gbps\n",
+			e.At, e.DemandedBps/1e9, e.WeightRatio, e.PredictedRBp/1e9)
+	}
+}

@@ -1,0 +1,3 @@
+module srcsim
+
+go 1.22

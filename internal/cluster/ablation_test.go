@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"testing"
+
+	"srcsim/internal/netsim"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// TestTXQBackpressureAblation verifies the paper's Sec. II-B degradation
+// mechanism is really what SRC exploits: with the TXQ/CQ backpressure
+// disabled (infinite TXQ), the baseline's writes no longer collapse under
+// read congestion, so the gap SRC closes mostly disappears.
+func TestTXQBackpressureAblation(t *testing.T) {
+	tr := vdiTrace(t, 1200)
+
+	run := func(txqCap int64) *Result {
+		spec := congestionSpec()
+		spec.TXQCap = txqCap
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	withBackpressure := run(0)     // default 1 MiB cap
+	withoutBackpressure := run(-1) // unbounded TXQ
+
+	// Without the CQ bottleneck the device never stalls, so baseline
+	// writes flow at device speed.
+	if withoutBackpressure.MeanWriteGbps <= withBackpressure.MeanWriteGbps {
+		t.Fatalf("unbounded TXQ writes %.2f should beat bounded %.2f",
+			withoutBackpressure.MeanWriteGbps, withBackpressure.MeanWriteGbps)
+	}
+}
+
+// TestStaticSSQSweep is the ablation DESIGN.md calls out: fixed weight
+// ratios without the dynamic controller. A static w raises write
+// throughput but holds the read cut even when the network is not
+// congested, so dynamic SRC — which releases the weights on retrieval
+// events — beats any of the static settings on aggregate. This is the
+// case for Alg. 1 over an intuitive static prioritisation.
+func TestStaticSSQSweep(t *testing.T) {
+	tr := vdiTrace(t, 1200)
+	aggs := map[int]float64{}
+	writes := map[int]float64{}
+	for _, w := range []int{1, 3, 16} {
+		spec := congestionSpec()
+		spec.Mode = SSQStatic
+		spec.StaticWeight = w
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs[w] = res.AggregatedGbps
+		writes[w] = res.MeanWriteGbps
+	}
+	// Raising w must raise write throughput on this write-starved setup.
+	if writes[3] <= writes[1] {
+		t.Fatalf("static w=3 writes %.2f should beat w=1 %.2f", writes[3], writes[1])
+	}
+	if writes[16] <= writes[1] {
+		t.Fatalf("static w=16 writes %.2f should beat w=1 %.2f", writes[16], writes[1])
+	}
+
+	// Dynamic SRC must beat every static setting on aggregate: it only
+	// pays the read cut while congestion actually demands it.
+	tpm := sharedTPM(t)
+	spec := congestionSpec()
+	spec.Mode = DCQCNSRC
+	spec.TPM = tpm
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := c.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, agg := range aggs {
+		if dyn.AggregatedGbps <= agg*0.98 {
+			t.Fatalf("dynamic SRC aggregate %.2f should not lose to static w=%d (%.2f)",
+				dyn.AggregatedGbps, w, agg)
+		}
+	}
+}
+
+// TestECNDisabledAblation: with ECN marking off, DCQCN receives no CNPs,
+// so only PFC paces the fabric and no SRC rate events fire.
+func TestECNDisabledAblation(t *testing.T) {
+	spec := congestionSpec()
+	spec.Net.DisableECN = true
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(vdiTrace(t, 600), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCNPs != 0 {
+		t.Fatalf("CNPs %d with ECN disabled", res.TotalCNPs)
+	}
+	if res.Completed != res.Submitted {
+		t.Fatalf("lossless delivery violated: %d/%d", res.Completed, res.Submitted)
+	}
+	if res.TotalPFCPauses == 0 {
+		t.Fatal("PFC should engage when ECN cannot pace the senders")
+	}
+}
+
+// TestDevicesStallWhenTXQFull exercises the parked-completion plumbing
+// directly: under heavy read congestion the devices report parked
+// completions at some point.
+func TestDevicesStallWhenTXQFull(t *testing.T) {
+	spec := congestionSpec()
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All reads, heavily exceeding the network: the TXQ credit must run
+	// out and park completions.
+	tr := &trace.Trace{}
+	for i := 0; i < 4000; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{
+			ID: uint64(i), Op: trace.Read,
+			LBA:     uint64(i%1000) << 16,
+			Size:    44 << 10,
+			Arrival: sim.Time(i) * 5 * sim.Microsecond,
+		})
+	}
+	res, err := c.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for _, tn := range c.Targets {
+		for _, dev := range tn.Devs {
+			if dev.PeakParked > peak {
+				peak = dev.PeakParked
+			}
+		}
+	}
+	if peak == 0 {
+		t.Fatal("read flood never parked a completion")
+	}
+	if res.Completed != res.Submitted {
+		t.Fatalf("parked completions lost requests: %d/%d", res.Completed, res.Submitted)
+	}
+}
+
+// TestDeadlineBaselineWorsensWriteStarvation: a conventional
+// read-preferring block scheduler makes the congestion pathology worse
+// than plain round-robin — reads hog the device even harder while their
+// data is stranded in the TXQ, so writes see even less service.
+func TestDeadlineBaselineWorsensWriteStarvation(t *testing.T) {
+	tr := vdiTrace(t, 1200)
+	run := func(mode Mode) *Result {
+		spec := congestionSpec()
+		spec.Mode = mode
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rr := run(DCQCNOnly)
+	dl := run(DeadlineBaseline)
+	if dl.Completed != dl.Submitted {
+		t.Fatalf("deadline run incomplete: %d/%d", dl.Completed, dl.Submitted)
+	}
+	if dl.MeanWriteGbps >= rr.MeanWriteGbps {
+		t.Fatalf("read-preferring deadline writes %.2f should not beat round-robin %.2f",
+			dl.MeanWriteGbps, rr.MeanWriteGbps)
+	}
+	if DeadlineBaseline.String() != "Deadline" {
+		t.Fatal("mode label")
+	}
+}
+
+// TestSRCUnderTIMELY: the SRC controller consumes only rate-change
+// events, so it runs unchanged on a delay-based congestion control.
+// Under TIMELY the read flows still get throttled on incast and SRC
+// still converts the stranded device bandwidth into writes.
+func TestSRCUnderTIMELY(t *testing.T) {
+	tpm := sharedTPM(t)
+	tr := vdiTrace(t, 1200)
+	spec := congestionSpec()
+	spec.Net.CC = netsim.CCTIMELY
+	base, src, err := CompareModes(spec, tpm, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Completed != base.Submitted || src.Completed != src.Submitted {
+		t.Fatalf("incomplete TIMELY runs: %d/%d and %d/%d",
+			base.Completed, base.Submitted, src.Completed, src.Submitted)
+	}
+	if len(src.WeightEvents) == 0 {
+		t.Fatal("SRC received no rate events under TIMELY")
+	}
+	if src.MeanWriteGbps <= base.MeanWriteGbps {
+		t.Fatalf("SRC under TIMELY writes %.2f should beat baseline %.2f",
+			src.MeanWriteGbps, base.MeanWriteGbps)
+	}
+}
+
+// TestSRCDirectAblation: applying the demanded rate directly to read
+// dispatch (no TPM) also rescues write throughput — quantifying how much
+// of SRC's win comes from the principle (cut device reads to the network
+// rate) versus the specific SSQ+TPM mechanism. The paper's WRR approach
+// is the NVMe-native control; the direct pacer needs a fine-grained rate
+// limiter in the dispatch path instead.
+func TestSRCDirectAblation(t *testing.T) {
+	tpm := sharedTPM(t)
+	tr := vdiTrace(t, 1200)
+
+	run := func(mode Mode) *Result {
+		spec := congestionSpec()
+		spec.Mode = mode
+		if mode == DCQCNSRC {
+			spec.TPM = tpm
+		}
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(DCQCNOnly)
+	direct := run(SRCDirect)
+	src := run(DCQCNSRC)
+
+	if direct.Completed != direct.Submitted {
+		t.Fatalf("SRC-Direct incomplete: %d/%d", direct.Completed, direct.Submitted)
+	}
+	if direct.MeanWriteGbps <= base.MeanWriteGbps {
+		t.Fatalf("SRC-Direct writes %.2f should beat baseline %.2f",
+			direct.MeanWriteGbps, base.MeanWriteGbps)
+	}
+	// Both SRC variants should land in the same ballpark on aggregate.
+	lo, hi := src.AggregatedGbps*0.8, src.AggregatedGbps*1.25
+	if direct.AggregatedGbps < lo || direct.AggregatedGbps > hi {
+		t.Logf("note: SRC-Direct %.2f vs SRC %.2f aggregated (outside ±20%%)",
+			direct.AggregatedGbps, src.AggregatedGbps)
+	}
+	if SRCDirect.String() != "SRC-Direct" {
+		t.Fatal("mode label")
+	}
+}

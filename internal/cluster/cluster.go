@@ -1,0 +1,303 @@
+// Package cluster assembles the full disaggregated storage testbed of
+// Sec. IV: a fabric (rack or Clos) of initiators and targets, each
+// target a flash array behind the baseline NVMe arbitration or the
+// paper's SSQ, optionally controlled by SRC — and collects the paper's
+// metrics: per-millisecond read throughput at initiators, write
+// throughput at targets, pause (congestion-signal) counts, and SRC
+// weight adjustments.
+package cluster
+
+import (
+	"fmt"
+
+	"srcsim/internal/core"
+	"srcsim/internal/netsim"
+	"srcsim/internal/nvme"
+	"srcsim/internal/nvmeof"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+	"srcsim/internal/stats"
+	"srcsim/internal/trace"
+)
+
+// Mode selects the target-side configuration under test.
+type Mode int
+
+const (
+	// DCQCNOnly is the baseline: default NVMe multi-queue arbitration
+	// (Fig. 4-a); only the network throttles reads.
+	DCQCNOnly Mode = iota
+	// DCQCNSRC adds the paper's SSQ + TPM + dynamic adjustment on every
+	// target.
+	DCQCNSRC
+	// SSQStatic uses the separate submission queues at a fixed weight
+	// ratio without dynamic control (for ablations).
+	SSQStatic
+	// DeadlineBaseline uses a block-layer-style read-preferring deadline
+	// scheduler (the conventional occupant of the slot the paper's
+	// future work targets); it aggravates read congestion and serves as
+	// a second ablation baseline.
+	DeadlineBaseline
+	// SRCDirect replaces the SSQ+TPM pipeline with direct read-rate
+	// pacing at the device (nvme.Paced): the demanded data sending rate
+	// is applied to read dispatch as a token bucket, no prediction model
+	// involved. The ablation that asks "do you need the TPM?".
+	SRCDirect
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (m Mode) String() string {
+	switch m {
+	case DCQCNOnly:
+		return "DCQCN-Only"
+	case DCQCNSRC:
+		return "DCQCN-SRC"
+	case SSQStatic:
+		return "SSQ-Static"
+	case DeadlineBaseline:
+		return "Deadline"
+	case SRCDirect:
+		return "SRC-Direct"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// Spec describes one experiment setup.
+type Spec struct {
+	Initiators int
+	Targets    int
+
+	SSD              ssd.Config
+	DevicesPerTarget int // flash-array width (default 1)
+
+	Mode Mode
+	// TPM must be a trained model when Mode is DCQCNSRC.
+	TPM *core.TPM
+	SRC core.ControllerConfig
+	// StaticWeight is the fixed write weight for SSQStatic (default 1).
+	StaticWeight int
+
+	// Net carries fabric parameters; LinkRate (bits/s) is the host link
+	// speed and defaults to Net.DCQCN.LineRate (or 40 Gbps). The paper
+	// uses 1 µs link delay.
+	Net       netsim.Config
+	LinkRate  float64
+	LinkDelay sim.Time
+	// UseClos builds the paper's full Clos fabric and places initiators
+	// and targets on distinct ToRs; otherwise a single-rack topology is
+	// used (the paper's small-scale experiments).
+	UseClos bool
+	Clos    netsim.ClosSpec
+
+	// MetricBucket is the time-series resolution (default 1 ms, as in
+	// Figs. 7-10).
+	MetricBucket sim.Time
+	// Horizon bounds the simulation (default 3x trace duration plus
+	// 200 ms of drain).
+	Horizon sim.Time
+	// TrimFrac is the warm-up/wrap-up trim (default 0.10, Sec. IV-B).
+	TrimFrac float64
+	// TXQCap bounds in-flight read data per target in bytes (0 uses
+	// nvmeof.DefaultTXQCap; negative disables CQ backpressure).
+	TXQCap int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Initiators <= 0 {
+		s.Initiators = 1
+	}
+	if s.Targets <= 0 {
+		s.Targets = 1
+	}
+	if s.DevicesPerTarget <= 0 {
+		s.DevicesPerTarget = 1
+	}
+	if s.StaticWeight <= 0 {
+		s.StaticWeight = 1
+	}
+	if s.SSD.Name == "" {
+		s.SSD = ssd.ConfigA()
+	}
+	if s.LinkRate <= 0 {
+		if s.Net.DCQCN.LineRate > 0 {
+			s.LinkRate = s.Net.DCQCN.LineRate
+		} else {
+			s.LinkRate = 40e9
+		}
+	}
+	// The NIC line rate must match the host link.
+	s.Net.DCQCN.LineRate = s.LinkRate
+	if s.LinkDelay <= 0 {
+		s.LinkDelay = sim.Microsecond
+	}
+	if s.MetricBucket <= 0 {
+		s.MetricBucket = sim.Millisecond
+	}
+	if s.TrimFrac <= 0 {
+		s.TrimFrac = 0.10
+	}
+	return s
+}
+
+// TargetNode bundles one storage node's pieces.
+type TargetNode struct {
+	T    *nvmeof.Target
+	Devs []*ssd.Device
+	SSQs []*nvme.SSQ // nil entries when Mode is DCQCNOnly
+	Ctl  *core.Controller
+}
+
+// Cluster is a built, ready-to-run testbed.
+type Cluster struct {
+	Spec Spec
+	Eng  *sim.Engine
+	Net  *netsim.Network
+
+	Initiators []*nvmeof.Initiator
+	Targets    []*TargetNode
+
+	readBits  *stats.TimeSeries
+	writeBits *stats.TimeSeries
+	pauses    *stats.TimeSeries
+
+	completed int
+	total     int
+}
+
+// New builds a cluster from the spec.
+func New(spec Spec) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if spec.Mode == DCQCNSRC && (spec.TPM == nil || !spec.TPM.Trained()) {
+		return nil, fmt.Errorf("cluster: mode %v requires a trained TPM", spec.Mode)
+	}
+	if err := spec.SSD.Validate(); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, spec.Net)
+	if err != nil {
+		return nil, err
+	}
+
+	var hosts []*netsim.Node
+	need := spec.Initiators + spec.Targets
+	if spec.UseClos {
+		hosts = netsim.BuildClos(net, spec.Clos)
+		if len(hosts) < need {
+			return nil, fmt.Errorf("cluster: Clos provides %d hosts, need %d", len(hosts), need)
+		}
+		// Spread across ToRs: initiators first, then targets from the
+		// far end so traffic crosses the fabric.
+		sel := make([]*netsim.Node, 0, need)
+		sel = append(sel, hosts[:spec.Initiators]...)
+		sel = append(sel, hosts[len(hosts)-spec.Targets:]...)
+		hosts = sel
+	} else {
+		hosts = netsim.BuildRack(net, need, spec.LinkRate, spec.LinkDelay)
+	}
+
+	c := &Cluster{
+		Spec: spec, Eng: eng, Net: net,
+		readBits:  stats.NewTimeSeries(spec.MetricBucket),
+		writeBits: stats.NewTimeSeries(spec.MetricBucket),
+		pauses:    stats.NewTimeSeries(spec.MetricBucket),
+	}
+
+	for i := 0; i < spec.Initiators; i++ {
+		ini := nvmeof.NewInitiator(net, eng, hosts[i])
+		ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
+			if readData {
+				c.readBits.Add(at, float64(req.Size)*8)
+			}
+			c.completed++
+			if c.completed >= c.total && c.total > 0 {
+				eng.Stop()
+			}
+		}
+		c.Initiators = append(c.Initiators, ini)
+	}
+
+	for tIdx := 0; tIdx < spec.Targets; tIdx++ {
+		node := hosts[spec.Initiators+tIdx]
+		tn := &TargetNode{}
+		units := make([]nvmeof.Unit, 0, spec.DevicesPerTarget)
+		for d := 0; d < spec.DevicesPerTarget; d++ {
+			var arb nvme.Arbiter
+			switch spec.Mode {
+			case DCQCNOnly:
+				arb = nvme.NewMultiRR(4)
+				tn.SSQs = append(tn.SSQs, nil)
+			case DCQCNSRC:
+				ssq := nvme.NewSSQ(1, 1)
+				tn.SSQs = append(tn.SSQs, ssq)
+				arb = ssq
+			case SSQStatic:
+				ssq := nvme.NewSSQ(1, spec.StaticWeight)
+				tn.SSQs = append(tn.SSQs, ssq)
+				arb = ssq
+			case DeadlineBaseline:
+				arb = nvme.NewDeadline(0)
+				tn.SSQs = append(tn.SSQs, nil)
+			case SRCDirect:
+				arb = nvme.NewPaced(eng, 0)
+				tn.SSQs = append(tn.SSQs, nil)
+			default:
+				return nil, fmt.Errorf("cluster: unknown mode %d", spec.Mode)
+			}
+			dev, err := ssd.New(eng, spec.SSD, arb)
+			if err != nil {
+				return nil, err
+			}
+			tn.Devs = append(tn.Devs, dev)
+			units = append(units, nvmeof.Unit{Dev: dev, Arb: arb})
+		}
+		tn.T = nvmeof.NewTarget(net, node, units, spec.TXQCap)
+		if spec.Mode == SRCDirect {
+			// Wire pacing wake-ups and the rate listener: every DCQCN
+			// rate change is applied directly as the per-device read
+			// dispatch budget.
+			paced := make([]*nvme.Paced, 0, len(units))
+			for d, u := range units {
+				pa := u.Arb.(*nvme.Paced)
+				dev := tn.Devs[d]
+				pa.Kicker = dev.Kick
+				paced = append(paced, pa)
+			}
+			target := tn.T
+			share := float64(len(units))
+			tn.T.OnReadRate = func(_ *netsim.Flow, _, _ float64) {
+				per := target.ReadSendRate() / share
+				for _, pa := range paced {
+					pa.SetReadRate(per)
+				}
+			}
+		}
+		tn.T.OnWriteComplete = func(req trace.Request, at sim.Time) {
+			c.writeBits.Add(at, float64(req.Size)*8)
+		}
+
+		if spec.Mode == DCQCNSRC {
+			srcCfg := spec.SRC
+			if srcCfg.Scale <= 0 {
+				srcCfg.Scale = float64(spec.DevicesPerTarget)
+			}
+			group := make(core.SSQGroup, 0, len(tn.SSQs))
+			for _, s := range tn.SSQs {
+				group = append(group, s)
+			}
+			ctl := core.NewController(srcCfg, spec.TPM, group)
+			tn.Ctl = ctl
+			target := tn.T
+			tn.T.OnCommandArrive = func(req trace.Request, at sim.Time) {
+				ctl.Monitor.Record(req, at)
+			}
+			tn.T.OnReadRate = func(_ *netsim.Flow, _, _ float64) {
+				ctl.OnRateEvent(eng.Now(), target.ReadSendRate())
+			}
+		}
+		c.Targets = append(c.Targets, tn)
+	}
+	return c, nil
+}

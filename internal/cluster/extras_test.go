@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+func TestBackgroundTrafficTightensCongestion(t *testing.T) {
+	tr := vdiTrace(t, 800)
+	run := func(bg []BackgroundFlow) *Result {
+		c, err := New(congestionSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bg != nil {
+			if err := c.AddBackground(bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Run(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	quiet := run(nil)
+	// Two background flows from separate hosts into separate sinks: the
+	// shared ToR gets busier but storage links keep their capacity.
+	loaded := run([]BackgroundFlow{{RateGbps: 4}, {RateGbps: 4}})
+	if loaded.Completed != loaded.Submitted {
+		t.Fatalf("background run incomplete: %d/%d", loaded.Completed, loaded.Submitted)
+	}
+	// The fabric carried strictly more traffic; the storage workload
+	// still completed. (Congestion counters may or may not rise at this
+	// scale, but nothing may be lost.)
+	if quiet.Completed != quiet.Submitted {
+		t.Fatalf("quiet run incomplete")
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	c, err := New(congestionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBackground([]BackgroundFlow{{RateGbps: 0}}); err == nil {
+		t.Fatal("zero-rate background should error")
+	}
+	spec := congestionSpec()
+	spec.UseClos = true
+	spec.Clos.LinkRate = 10e9
+	cc, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.AddBackground([]BackgroundFlow{{RateGbps: 1}}); err == nil {
+		t.Fatal("Clos background should error")
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	c, err := New(congestionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunClosedLoop(ClosedLoopSpec{
+		QueueDepth: 16,
+		Duration:   30 * sim.Millisecond,
+		SizeBytes:  16 << 10,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("closed loop completed nothing")
+	}
+	if res.ReadGbps <= 0 || res.WriteGbps <= 0 {
+		t.Fatalf("throughput %v/%v", res.ReadGbps, res.WriteGbps)
+	}
+	if res.ReadIOPS <= 0 || res.WriteIOPS <= 0 {
+		t.Fatalf("IOPS %v/%v", res.ReadIOPS, res.WriteIOPS)
+	}
+}
+
+func TestClosedLoopDepthScalesThroughput(t *testing.T) {
+	run := func(qd int) float64 {
+		c, err := New(congestionSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.RunClosedLoop(ClosedLoopSpec{
+			QueueDepth: qd,
+			Duration:   30 * sim.Millisecond,
+			SizeBytes:  16 << 10,
+			Seed:       9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ReadGbps + res.WriteGbps
+	}
+	shallow := run(1)
+	deep := run(64)
+	if deep <= shallow*1.5 {
+		t.Fatalf("deep queue (%.2f) should clearly beat qd=1 (%.2f)", deep, shallow)
+	}
+}
+
+func TestClosedLoopReadFraction(t *testing.T) {
+	c, err := New(congestionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunClosedLoop(ClosedLoopSpec{
+		QueueDepth:   16,
+		Duration:     30 * sim.Millisecond,
+		ReadFraction: 0.9,
+		SizeBytes:    16 << 10,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadIOPS <= 3*res.WriteIOPS {
+		t.Fatalf("90%% read mix not reflected: R %.0f vs W %.0f IOPS", res.ReadIOPS, res.WriteIOPS)
+	}
+}
+
+func TestResultSummaryJSON(t *testing.T) {
+	c, err := New(congestionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(vdiTrace(t, 300), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	if sum.Mode != "DCQCN-Only" || sum.Completed != res.Completed || sum.AggregatedGbps != res.AggregatedGbps {
+		t.Fatalf("summary mismatch: %+v", sum)
+	}
+	if sum.ReadLatP50Ms <= 0 || sum.ReadLatP99Ms < sum.ReadLatP50Ms {
+		t.Fatalf("latency summary %+v", sum)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sum {
+		t.Fatalf("JSON round trip: %+v vs %+v", back, sum)
+	}
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"srcsim/internal/core"
+	"srcsim/internal/sim"
+	"srcsim/internal/stats"
+	"srcsim/internal/trace"
+)
+
+// Assign routes a request to (initiator, target) indexes. The default
+// policy stripes requests round-robin over both sets, which splits the
+// workload evenly across targets as in the paper's experiments.
+type Assign func(req trace.Request, idx int, initiators, targets int) (int, int)
+
+// DefaultAssign is the round-robin policy.
+func DefaultAssign(req trace.Request, idx int, initiators, targets int) (int, int) {
+	return idx % initiators, idx % targets
+}
+
+// Result summarises one run.
+type Result struct {
+	Mode     Mode
+	Duration sim.Time
+
+	// Per-bucket series in Gbps (reads measured at initiators, writes at
+	// targets) and raw pause counts per bucket.
+	ReadGbps  []float64
+	WriteGbps []float64
+	Pauses    []float64
+
+	// Steady-state aggregates (Gbps) over the active window: the trace's
+	// arrival span with the first and last TrimFrac removed (Sec. IV-B's
+	// warm-up/wrap-up trimming). The post-arrival drain tail is excluded
+	// so runs of different lengths compare like the paper's timelines.
+	MeanReadGbps   float64
+	MeanWriteGbps  float64
+	AggregatedGbps float64
+
+	Completed, Submitted int
+	TotalCNPs            uint64
+	TotalECNMarks        uint64
+	TotalPFCPauses       uint64
+
+	// End-to-end request latency percentiles (submission at the
+	// initiator to completion at the initiator), in milliseconds.
+	ReadLatencyP50Ms  float64
+	ReadLatencyP99Ms  float64
+	WriteLatencyP50Ms float64
+	WriteLatencyP99Ms float64
+
+	// WeightEvents merges all SRC adjustments (empty unless DCQCN-SRC).
+	WeightEvents []core.AdjustEvent
+}
+
+// Run drives the trace through the cluster and collects metrics. It can
+// be called once per cluster.
+func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	if assign == nil {
+		assign = DefaultAssign
+	}
+	spec := c.Spec
+	c.total = tr.Len()
+	submitTimes := make(map[uint64]sim.Time, tr.Len())
+	var readLats, writeLats []float64
+	for i := range c.Initiators {
+		ini := c.Initiators[i]
+		prev := ini.OnComplete
+		ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
+			if t0, ok := submitTimes[req.ID]; ok {
+				lat := (at - t0).Millis()
+				if readData {
+					readLats = append(readLats, lat)
+				} else {
+					writeLats = append(writeLats, lat)
+				}
+			}
+			prev(req, readData, at)
+		}
+	}
+
+	// MQSim-style preconditioning: install the workload footprint's
+	// mapping entries so runs measure steady-state behaviour.
+	var span uint64
+	for _, r := range tr.Requests {
+		if r.End() > span {
+			span = r.End()
+		}
+	}
+	for _, t := range c.Targets {
+		for _, dev := range t.Devs {
+			dev.Precondition(span)
+		}
+	}
+
+	for idx, r := range tr.Requests {
+		r := r
+		iniIdx, tgtIdx := assign(r, idx, len(c.Initiators), len(c.Targets))
+		ini := c.Initiators[iniIdx]
+		tgt := c.Targets[tgtIdx]
+		r.Initiator, r.Target = iniIdx, tgtIdx
+		c.Eng.Schedule(r.Arrival, func() {
+			submitTimes[r.ID] = c.Eng.Now()
+			ini.Submit(r, tgt.T.Node)
+		})
+	}
+
+	// Pause-number sampling (Fig. 8): delta of CNPs received by targets
+	// per metric bucket.
+	var lastCNPs uint64
+	stopPause := c.Eng.Ticker(spec.MetricBucket, func() {
+		var cur uint64
+		for _, t := range c.Targets {
+			cur += t.T.Node.NIC.CNPsReceived
+		}
+		c.pauses.Add(c.Eng.Now()-1, float64(cur-lastCNPs))
+		lastCNPs = cur
+	})
+
+	horizon := spec.Horizon
+	if horizon <= 0 {
+		horizon = 3*tr.Duration() + 200*sim.Millisecond
+	}
+	c.Eng.Run(horizon)
+	stopPause()
+	// Drain any residual non-ticker events up to the horizon so the
+	// counters settle (Stop() may have left a few scheduled).
+	duration := c.Eng.Now()
+
+	res := &Result{
+		Mode:      spec.Mode,
+		Duration:  duration,
+		Completed: c.completed,
+		Submitted: tr.Len(),
+	}
+	toGbps := func(ts *stats.TimeSeries) []float64 {
+		rates := ts.Rate()
+		out := make([]float64, len(rates))
+		for i, r := range rates {
+			out[i] = r / 1e9
+		}
+		return out
+	}
+	res.ReadGbps = toGbps(c.readBits)
+	res.WriteGbps = toGbps(c.writeBits)
+	res.Pauses = c.pauses.Sums()
+
+	// Align series lengths for aggregate math.
+	n := len(res.ReadGbps)
+	if len(res.WriteGbps) > n {
+		n = len(res.WriteGbps)
+	}
+	pad := func(xs []float64) []float64 {
+		for len(xs) < n {
+			xs = append(xs, 0)
+		}
+		return xs
+	}
+	res.ReadGbps = pad(res.ReadGbps)
+	res.WriteGbps = pad(res.WriteGbps)
+
+	// Active measurement window: the trimmed arrival span.
+	lo := int(sim.Time(float64(tr.Duration())*spec.TrimFrac) / spec.MetricBucket)
+	hi := int(sim.Time(float64(tr.Duration())*(1-spec.TrimFrac)) / spec.MetricBucket)
+	if hi > n {
+		hi = n
+	}
+	window := func(xs []float64) []float64 {
+		if lo >= hi || lo >= len(xs) {
+			return xs
+		}
+		return xs[lo:hi]
+	}
+	res.MeanReadGbps = stats.Mean(window(res.ReadGbps))
+	res.MeanWriteGbps = stats.Mean(window(res.WriteGbps))
+	agg := make([]float64, n)
+	for i := range agg {
+		agg[i] = res.ReadGbps[i] + res.WriteGbps[i]
+	}
+	res.AggregatedGbps = stats.Mean(window(agg))
+
+	res.ReadLatencyP50Ms = stats.Percentile(readLats, 50)
+	res.ReadLatencyP99Ms = stats.Percentile(readLats, 99)
+	res.WriteLatencyP50Ms = stats.Percentile(writeLats, 50)
+	res.WriteLatencyP99Ms = stats.Percentile(writeLats, 99)
+
+	for _, t := range c.Targets {
+		res.TotalCNPs += t.T.Node.NIC.CNPsReceived
+		if t.Ctl != nil {
+			res.WeightEvents = append(res.WeightEvents, t.Ctl.Events...)
+		}
+	}
+	res.TotalECNMarks = c.Net.ECNMarks
+	res.TotalPFCPauses = c.Net.PFCPauses
+	return res, nil
+}
+
+// Summary is the machine-readable digest of a Result.
+type Summary struct {
+	Mode           string  `json:"mode"`
+	DurationMs     float64 `json:"duration_ms"`
+	ReadGbps       float64 `json:"read_gbps"`
+	WriteGbps      float64 `json:"write_gbps"`
+	AggregatedGbps float64 `json:"aggregated_gbps"`
+	Completed      int     `json:"completed"`
+	Submitted      int     `json:"submitted"`
+	CNPs           uint64  `json:"cnps"`
+	ECNMarks       uint64  `json:"ecn_marks"`
+	PFCPauses      uint64  `json:"pfc_pauses"`
+	ReadLatP50Ms   float64 `json:"read_latency_p50_ms"`
+	ReadLatP99Ms   float64 `json:"read_latency_p99_ms"`
+	WriteLatP50Ms  float64 `json:"write_latency_p50_ms"`
+	WriteLatP99Ms  float64 `json:"write_latency_p99_ms"`
+	WeightEvents   int     `json:"weight_events"`
+}
+
+// Summary digests the result for JSON output.
+func (r *Result) Summary() Summary {
+	return Summary{
+		Mode:           r.Mode.String(),
+		DurationMs:     r.Duration.Millis(),
+		ReadGbps:       r.MeanReadGbps,
+		WriteGbps:      r.MeanWriteGbps,
+		AggregatedGbps: r.AggregatedGbps,
+		Completed:      r.Completed,
+		Submitted:      r.Submitted,
+		CNPs:           r.TotalCNPs,
+		ECNMarks:       r.TotalECNMarks,
+		PFCPauses:      r.TotalPFCPauses,
+		ReadLatP50Ms:   r.ReadLatencyP50Ms,
+		ReadLatP99Ms:   r.ReadLatencyP99Ms,
+		WriteLatP50Ms:  r.WriteLatencyP50Ms,
+		WriteLatP99Ms:  r.WriteLatencyP99Ms,
+		WeightEvents:   len(r.WeightEvents),
+	}
+}
+
+// WriteJSON writes the result summary as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
+// CompareModes runs the same trace under DCQCN-only and DCQCN-SRC
+// cluster specs (identical otherwise) and returns both results — the
+// paper's standard A/B protocol (Sec. IV-B).
+func CompareModes(spec Spec, tpm *core.TPM, tr *trace.Trace, assign Assign) (baseline, src *Result, err error) {
+	b := spec
+	b.Mode = DCQCNOnly
+	cb, err := New(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if baseline, err = cb.Run(tr, assign); err != nil {
+		return nil, nil, err
+	}
+	s := spec
+	s.Mode = DCQCNSRC
+	s.TPM = tpm
+	cs, err := New(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if src, err = cs.Run(tr, assign); err != nil {
+		return nil, nil, err
+	}
+	return baseline, src, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+)
+
+// ControllerConfig tunes the SRC dynamic adjustment (Alg. 1).
+type ControllerConfig struct {
+	// Window is the prediction window δ (default 10 ms).
+	Window sim.Time
+	// Tau is the convergence threshold on relative read-throughput
+	// change between successive weight ratios (default 0.10).
+	Tau float64
+	// MaxW bounds the weight-ratio search (default 32).
+	MaxW int
+	// MinEventGap rate-limits adjustments: congestion notifications
+	// arriving closer than this reuse the previous decision (default
+	// 1 ms; DCQCN emits rate changes far faster than the SSD's
+	// throughput moves, so reacting to each one just thrashes weights).
+	MinEventGap sim.Time
+	// RateEpsilon suppresses reactions to negligible demanded-rate
+	// changes, as a fraction of the previous demand (default 0.05).
+	RateEpsilon float64
+	// Scale multiplies TPM predictions before comparison with the
+	// demanded rate; set it to the number of identical SSD instances
+	// when the target runs a flash array and the TPM was trained on a
+	// single device (default 1).
+	Scale float64
+}
+
+// withDefaults fills unset fields.
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * sim.Millisecond
+	}
+	if c.Tau <= 0 {
+		c.Tau = 0.10
+	}
+	if c.MaxW <= 0 {
+		c.MaxW = 32
+	}
+	if c.MinEventGap <= 0 {
+		c.MinEventGap = sim.Millisecond
+	}
+	if c.RateEpsilon <= 0 {
+		c.RateEpsilon = 0.05
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// AdjustEvent records one applied weight adjustment for analysis
+// (Fig. 9's vertical dashed lines).
+type AdjustEvent struct {
+	At           sim.Time
+	DemandedBps  float64
+	WeightRatio  int
+	PredictedRBp float64 // predicted read throughput at the chosen w
+}
+
+// WeightSink is where the controller applies its decisions: a single
+// SSQ, or an SSQGroup spanning a target's flash array.
+type WeightSink interface {
+	SetWeights(read, write int)
+	WeightRatio() float64
+}
+
+// SSQGroup fans weight updates out to every SSQ of a flash array.
+type SSQGroup []*nvme.SSQ
+
+// SetWeights implements WeightSink.
+func (g SSQGroup) SetWeights(read, write int) {
+	for _, s := range g {
+		s.SetWeights(read, write)
+	}
+}
+
+// WeightRatio implements WeightSink (all members share one ratio).
+func (g SSQGroup) WeightRatio() float64 {
+	if len(g) == 0 {
+		return 1
+	}
+	return g[0].WeightRatio()
+}
+
+// Controller is the SRC decision loop: it owns the monitor, consults the
+// TPM, and adjusts the SSQ weights on congestion events.
+type Controller struct {
+	Cfg     ControllerConfig
+	TPM     *TPM
+	Monitor *Monitor
+	SSQ     WeightSink
+
+	// Events logs every applied adjustment.
+	Events []AdjustEvent
+
+	lastEventAt sim.Time
+	lastDemand  float64
+	haveEvent   bool
+}
+
+// NewController wires a controller around a trained TPM and a target's
+// SSQ (or SSQGroup for arrays).
+func NewController(cfg ControllerConfig, tpm *TPM, ssq WeightSink) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		Cfg:     cfg,
+		TPM:     tpm,
+		Monitor: NewMonitor(cfg.Window),
+		SSQ:     ssq,
+	}
+}
+
+// PredictWeightRatio implements the paper's Alg. 1 "PredictWeightRatio":
+// search w ≥ 1 for the predicted read throughput closest to the demanded
+// data sending rate r (bits/s), stopping when predictions converge
+// (relative change < Tau) or MaxW is reached.
+func (c *Controller) PredictWeightRatio(rBps float64, ch []float64) int {
+	w := 1
+	best := 1
+	tputR, _ := c.TPM.Predict(ch, float64(w))
+	tputR *= c.Cfg.Scale
+	if tputR < rBps {
+		return 1
+	}
+	minDis := math.Abs(tputR - rBps)
+	preTput := tputR
+	for {
+		w++
+		if w > c.Cfg.MaxW {
+			break
+		}
+		tputR, _ = c.TPM.Predict(ch, float64(w))
+		tputR *= c.Cfg.Scale
+		if dis := math.Abs(tputR - rBps); dis < minDis {
+			minDis = dis
+			best = w
+		}
+		curTput := tputR
+		if preTput > 0 && math.Abs(preTput-curTput)/preTput < c.Cfg.Tau {
+			break
+		}
+		preTput = curTput
+	}
+	return best
+}
+
+// OnRateEvent is the "DynamicAdjustment" entry point: DCQCN notifies a
+// new demanded data sending rate (bits/s) at time at — a pause event when
+// lower than before, a retrieval event when higher. The controller
+// profiles the preceding window, picks w, and applies it to the SSQ.
+func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
+	if c.haveEvent {
+		if at-c.lastEventAt < c.Cfg.MinEventGap {
+			return
+		}
+		if c.lastDemand > 0 && math.Abs(demandedBps-c.lastDemand)/c.lastDemand < c.Cfg.RateEpsilon {
+			return
+		}
+	}
+	c.lastEventAt = at
+	c.lastDemand = demandedBps
+	c.haveEvent = true
+
+	ch := c.Monitor.Snapshot(at)
+	w := c.PredictWeightRatio(demandedBps, ch)
+	pr, _ := c.TPM.Predict(ch, float64(w))
+	pr *= c.Cfg.Scale
+	c.SSQ.SetWeights(1, w)
+	c.Events = append(c.Events, AdjustEvent{
+		At: at, DemandedBps: demandedBps, WeightRatio: w, PredictedRBp: pr,
+	})
+}
+
+// CurrentWeightRatio returns the SSQ's active w.
+func (c *Controller) CurrentWeightRatio() float64 { return c.SSQ.WeightRatio() }

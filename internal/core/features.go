@@ -1,0 +1,127 @@
+// Package core implements the paper's contribution: Storage-side Rate
+// Control (SRC). It contains the three pieces of Sec. III wired together:
+//
+//   - Monitor — the workload monitor that profiles the request stream in
+//     a sliding prediction window and extracts the feature vector Ch;
+//   - TPM — the throughput prediction model, a regression (random forest
+//     by default, per Table I) mapping (Ch, w) to read and write
+//     throughput;
+//   - Controller — Algorithm 1, which reacts to congestion events
+//     (pause/retrieval rate notifications from DCQCN) by choosing the
+//     SSQ weight ratio whose predicted read throughput is closest to the
+//     demanded data sending rate.
+package core
+
+import (
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// Feature indexes into the Ch vector. The order is fixed: training
+// samples and prediction inputs must agree.
+const (
+	FeatReadRatio = iota
+	FeatReadMeanSize
+	FeatReadSizeSCV
+	FeatReadMeanIA
+	FeatReadIASCV
+	FeatReadFlowSpeed
+	FeatWriteMeanSize
+	FeatWriteSizeSCV
+	FeatWriteMeanIA
+	FeatWriteIASCV
+	FeatWriteFlowSpeed
+	NumFeatures
+)
+
+// FeatureNames labels the Ch vector entries for reporting (feature
+// importance, debugging).
+var FeatureNames = [NumFeatures]string{
+	"read_ratio",
+	"read_mean_size",
+	"read_size_scv",
+	"read_mean_interarrival",
+	"read_interarrival_scv",
+	"read_flow_speed",
+	"write_mean_size",
+	"write_size_scv",
+	"write_mean_interarrival",
+	"write_interarrival_scv",
+	"write_flow_speed",
+}
+
+// FeatureVector flattens trace statistics into the Ch vector of Eq. 1:
+// the read/write ratio, per-direction size and inter-arrival statistics
+// (mean and SCV), and per-direction arrival flow speed (bytes/s).
+func FeatureVector(s trace.Stats) []float64 {
+	return []float64{
+		s.ReadRatio,
+		s.Read.MeanSize,
+		s.Read.SizeSCV,
+		s.Read.MeanInterArrival,
+		s.Read.InterArrivalSCV,
+		s.Read.FlowSpeed,
+		s.Write.MeanSize,
+		s.Write.SizeSCV,
+		s.Write.MeanInterArrival,
+		s.Write.InterArrivalSCV,
+		s.Write.FlowSpeed,
+	}
+}
+
+// Monitor is the workload monitor of Fig. 6: it records arriving
+// commands and characterises the most recent prediction window.
+type Monitor struct {
+	window  sim.Time
+	maxKeep int
+
+	reqs []trace.Request // time-ordered arrivals
+	head int
+}
+
+// NewMonitor returns a monitor with the given prediction window (the
+// paper uses ~10 ms).
+func NewMonitor(window sim.Time) *Monitor {
+	if window <= 0 {
+		window = 10 * sim.Millisecond
+	}
+	return &Monitor{window: window, maxKeep: 1 << 20}
+}
+
+// Window returns the configured prediction window.
+func (m *Monitor) Window() sim.Time { return m.window }
+
+// Record notes one arriving request at time at.
+func (m *Monitor) Record(req trace.Request, at sim.Time) {
+	req.Arrival = at
+	m.reqs = append(m.reqs, req)
+	m.prune(at)
+}
+
+// prune drops entries older than the window (lazily, amortised O(1)).
+func (m *Monitor) prune(now sim.Time) {
+	cutoff := now - m.window
+	for m.head < len(m.reqs) && m.reqs[m.head].Arrival < cutoff {
+		m.head++
+	}
+	if m.head > 4096 && m.head*2 >= len(m.reqs) {
+		m.reqs = append(m.reqs[:0], m.reqs[m.head:]...)
+		m.head = 0
+	}
+}
+
+// Count returns the number of requests currently inside the window.
+func (m *Monitor) Count() int { return len(m.reqs) - m.head }
+
+// Snapshot extracts the feature vector for the window ending at now
+// ([now-δ, now], Alg. 1 line 5). With no traffic in the window it
+// returns the zero vector.
+func (m *Monitor) Snapshot(now sim.Time) []float64 {
+	m.prune(now)
+	live := m.reqs[m.head:]
+	if len(live) == 0 {
+		return make([]float64, NumFeatures)
+	}
+	tr := &trace.Trace{Requests: live}
+	return FeatureVector(trace.Extract(tr))
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"srcsim/internal/ml"
+)
+
+// Sample is one TPM training observation: a workload characterisation, a
+// weight ratio, and the measured steady-state throughputs (bits/s).
+type Sample struct {
+	Ch    []float64
+	W     float64
+	TputR float64
+	TputW float64
+	// Group optionally labels the sample's source workload class for
+	// grouped cross-validation (Table III).
+	Group int
+}
+
+// TPM is the throughput prediction model of Eq. 1:
+//
+//	TPUT_{R,W} = F(Ch, w)
+//
+// implemented as two single-output regressions (reads and writes) over
+// the concatenated input [Ch..., w]. The regressor factory defaults to
+// the paper's choice, random forest (Table I).
+type TPM struct {
+	// NewRegressor constructs the estimator used for each output. When
+	// nil, a 100-tree random forest is used.
+	NewRegressor func() ml.Regressor
+
+	regR, regW ml.Regressor
+	trained    bool
+}
+
+// NewTPM returns an untrained TPM with the default (random forest)
+// regressor.
+func NewTPM() *TPM { return &TPM{} }
+
+// inputVector concatenates Ch and w.
+func inputVector(ch []float64, w float64) []float64 {
+	x := make([]float64, len(ch)+1)
+	copy(x, ch)
+	x[len(ch)] = w
+	return x
+}
+
+// Train fits the model on samples.
+func (t *TPM) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return errors.New("core: TPM.Train with no samples")
+	}
+	d := len(samples[0].Ch)
+	X := make([][]float64, len(samples))
+	yR := make([]float64, len(samples))
+	yW := make([]float64, len(samples))
+	for i, s := range samples {
+		if len(s.Ch) != d {
+			return fmt.Errorf("core: sample %d has %d features, want %d", i, len(s.Ch), d)
+		}
+		X[i] = inputVector(s.Ch, s.W)
+		yR[i] = s.TputR
+		yW[i] = s.TputW
+	}
+	factory := t.NewRegressor
+	if factory == nil {
+		// The paper's model: a random forest with classic Breiman
+		// feature subsampling (d/3 of the 12 inputs per split), which
+		// also spreads split credit across the correlated workload
+		// features the way the paper's importance analysis reports.
+		factory = func() ml.Regressor {
+			return &ml.RandomForestRegressor{Trees: 100, MaxFeatures: (NumFeatures + 1) / 3, Seed: 1}
+		}
+	}
+	t.regR, t.regW = factory(), factory()
+	if err := t.regR.Fit(X, yR); err != nil {
+		return fmt.Errorf("core: TPM read model: %w", err)
+	}
+	if err := t.regW.Fit(X, yW); err != nil {
+		return fmt.Errorf("core: TPM write model: %w", err)
+	}
+	t.trained = true
+	return nil
+}
+
+// Trained reports whether Train has succeeded.
+func (t *TPM) Trained() bool { return t.trained }
+
+// Predict returns the predicted read and write throughput (bits/s) for a
+// workload characterisation and weight ratio.
+func (t *TPM) Predict(ch []float64, w float64) (tputR, tputW float64) {
+	if !t.trained {
+		panic("core: TPM.Predict before Train")
+	}
+	x := inputVector(ch, w)
+	return t.regR.Predict(x), t.regW.Predict(x)
+}
+
+// Accuracy evaluates R² of both outputs on held-out samples and returns
+// their mean — the paper's Table I/III "accuracy" metric.
+func (t *TPM) Accuracy(samples []Sample) float64 {
+	if !t.trained {
+		panic("core: TPM.Accuracy before Train")
+	}
+	yR := make([]float64, len(samples))
+	yW := make([]float64, len(samples))
+	pR := make([]float64, len(samples))
+	pW := make([]float64, len(samples))
+	for i, s := range samples {
+		yR[i], yW[i] = s.TputR, s.TputW
+		pR[i], pW[i] = t.Predict(s.Ch, s.W)
+	}
+	return (ml.R2(yR, pR) + ml.R2(yW, pW)) / 2
+}
+
+// tpmFile is the persisted form: magic + feature count guard the layout.
+type tpmFile struct {
+	Magic    string
+	Features int
+	Read     *ml.RandomForestRegressor
+	Write    *ml.RandomForestRegressor
+}
+
+// tpmMagic identifies srcsim TPM files.
+const tpmMagic = "srcsim-tpm-v1"
+
+// Save persists a trained TPM (random-forest models only) so CLIs can
+// skip retraining: a header followed by the read and write forests.
+func (t *TPM) Save(w io.Writer) error {
+	if !t.trained {
+		return errors.New("core: TPM.Save before Train")
+	}
+	fr, okR := t.regR.(*ml.RandomForestRegressor)
+	fw, okW := t.regW.(*ml.RandomForestRegressor)
+	if !okR || !okW {
+		return fmt.Errorf("core: TPM.Save supports random-forest models, have %s", t.regR.Name())
+	}
+	file := tpmFile{Magic: tpmMagic, Features: NumFeatures, Read: fr, Write: fw}
+	if err := gob.NewEncoder(w).Encode(file); err != nil {
+		return fmt.Errorf("core: TPM encode: %w", err)
+	}
+	return nil
+}
+
+// LoadTPM restores a TPM written by Save.
+func LoadTPM(r io.Reader) (*TPM, error) {
+	var file tpmFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("core: TPM decode: %w", err)
+	}
+	if file.Magic != tpmMagic {
+		return nil, fmt.Errorf("core: not a TPM file (magic %q)", file.Magic)
+	}
+	if file.Features != NumFeatures {
+		return nil, fmt.Errorf("core: TPM file has %d features, this build expects %d", file.Features, NumFeatures)
+	}
+	if file.Read == nil || file.Write == nil {
+		return nil, fmt.Errorf("core: TPM file missing models")
+	}
+	return &TPM{regR: file.Read, regW: file.Write, trained: true}, nil
+}
+
+// FeatureImportances returns the Breiman importance of each input
+// averaged across the two output models, labelled by FeatureNames plus
+// "weight_ratio". Only available when the underlying regressors are
+// random forests.
+func (t *TPM) FeatureImportances() (names []string, weights []float64, ok bool) {
+	fr, okR := t.regR.(*ml.RandomForestRegressor)
+	fw, okW := t.regW.(*ml.RandomForestRegressor)
+	if !okR || !okW {
+		return nil, nil, false
+	}
+	ir, iw := fr.FeatureImportances(), fw.FeatureImportances()
+	weights = make([]float64, len(ir))
+	var total float64
+	for i := range ir {
+		weights[i] = (ir[i] + iw[i]) / 2
+		total += weights[i]
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	names = append([]string{}, FeatureNames[:]...)
+	names = append(names, "weight_ratio")
+	return names, weights, true
+}

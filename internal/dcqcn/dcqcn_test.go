@@ -1,0 +1,261 @@
+package dcqcn
+
+import (
+	"math"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.G != 1.0/256 || c.LineRate != 40e9 || c.FastRecoverySteps != 5 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.MinRate = 80e9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MinRate > LineRate should fail")
+	}
+	bad = c
+	bad.ECNKmin, bad.ECNKmax = 100, 50
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Kmin >= Kmax should fail")
+	}
+	bad = c
+	bad.ECNPmax = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Pmax > 1 should fail")
+	}
+}
+
+func TestMarkProbabilityRamp(t *testing.T) {
+	c := Config{ECNKmin: 100, ECNKmax: 300, ECNPmax: 0.5}.WithDefaults()
+	if p := c.MarkProbability(50); p != 0 {
+		t.Fatalf("below Kmin p=%v", p)
+	}
+	if p := c.MarkProbability(100); p != 0 {
+		t.Fatalf("at Kmin p=%v", p)
+	}
+	if p := c.MarkProbability(200); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("midpoint p=%v, want 0.25", p)
+	}
+	if p := c.MarkProbability(300); p != 1 {
+		t.Fatalf("at Kmax p=%v, want 1", p)
+	}
+	if p := c.MarkProbability(1 << 30); p != 1 {
+		t.Fatalf("above Kmax p=%v", p)
+	}
+}
+
+func TestRPStartsAtLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 10e9})
+	if rp.Rate() != 10e9 || rp.TargetRate() != 10e9 {
+		t.Fatalf("initial rates %v/%v", rp.Rate(), rp.TargetRate())
+	}
+}
+
+func TestCNPCutsRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 40e9})
+	var events []float64
+	rp.OnRate = func(_, newRate float64) { events = append(events, newRate) }
+	rp.OnCNP()
+	// First CNP: alpha = (1-g)*1+g = 1 -> Rc cut by alpha/2 = 50%.
+	want := 40e9 * 0.5
+	if math.Abs(rp.Rate()-want)/want > 1e-9 {
+		t.Fatalf("rate after first CNP %v, want %v", rp.Rate(), want)
+	}
+	if rp.TargetRate() != 40e9 {
+		t.Fatalf("target after CNP %v, want old rate", rp.TargetRate())
+	}
+	if len(events) != 1 || events[0] != want {
+		t.Fatalf("rate events %v", events)
+	}
+	if rp.CNPs != 1 || rp.RateDecreases != 1 {
+		t.Fatalf("counters %d/%d", rp.CNPs, rp.RateDecreases)
+	}
+}
+
+func TestRepeatedCNPsFloorAtMinRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 40e9, MinRate: 100e6})
+	for i := 0; i < 100; i++ {
+		rp.OnCNP()
+	}
+	if rp.Rate() != 100e6 {
+		t.Fatalf("rate %v, want MinRate floor", rp.Rate())
+	}
+}
+
+func TestFastRecoveryHalvesGap(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{LineRate: 40e9, IncreaseTimer: 100 * sim.Microsecond}
+	rp := NewRP(eng, cfg)
+	rp.OnCNP() // rc=20G, rt=40G
+	eng.Run(100 * sim.Microsecond)
+	// One fast-recovery step: rc = (rt+rc)/2 = 30G.
+	if math.Abs(rp.Rate()-30e9)/30e9 > 1e-9 {
+		t.Fatalf("after 1 FR step rate %v, want 30e9", rp.Rate())
+	}
+	eng.Run(200 * sim.Microsecond)
+	if math.Abs(rp.Rate()-35e9)/35e9 > 1e-9 {
+		t.Fatalf("after 2 FR steps rate %v, want 35e9", rp.Rate())
+	}
+}
+
+func TestRecoveryConvergesToLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{LineRate: 40e9, IncreaseTimer: 55 * sim.Microsecond}
+	rp := NewRP(eng, cfg)
+	for i := 0; i < 10; i++ {
+		rp.OnCNP()
+	}
+	if rp.Rate() >= 1e9 {
+		t.Fatalf("rate after 10 CNPs %v should be well below line", rp.Rate())
+	}
+	eng.Run(2 * sim.Second)
+	if rp.Rate() < 40e9*0.999 {
+		t.Fatalf("rate %v did not recover to line rate", rp.Rate())
+	}
+	if rp.Rate() > 40e9 {
+		t.Fatalf("rate %v exceeds line rate", rp.Rate())
+	}
+}
+
+func TestTimersIdleAfterRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 40e9, IncreaseTimer: 55 * sim.Microsecond})
+	rp.OnCNP()
+	eng.Run(5 * sim.Second)
+	if rp.active {
+		t.Fatal("RP timers still active long after recovery")
+	}
+	pendingBefore := eng.Pending()
+	eng.Run(6 * sim.Second)
+	if eng.Pending() > pendingBefore {
+		t.Fatal("idle RP keeps scheduling events")
+	}
+}
+
+func TestAlphaDecaysWithoutCNPs(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 40e9})
+	rp.OnCNP()
+	a0 := rp.Alpha()
+	eng.Run(50 * sim.Millisecond)
+	if rp.Alpha() >= a0*0.5 {
+		t.Fatalf("alpha %v did not decay from %v", rp.Alpha(), a0)
+	}
+}
+
+func TestAlphaRisesUnderSustainedCNPs(t *testing.T) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, Config{LineRate: 40e9})
+	// Let the initial alpha=1 decay during a calm period first.
+	rp.OnCNP()
+	eng.Run(50 * sim.Millisecond)
+	low := rp.Alpha()
+	if low >= 0.5 {
+		t.Fatalf("setup: alpha %v should have decayed", low)
+	}
+	// Sustained congestion: alpha climbs back toward 1.
+	stop := eng.Ticker(20*sim.Microsecond, rp.OnCNP)
+	eng.Run(60 * sim.Millisecond)
+	stop()
+	if rp.Alpha() <= low*2 {
+		t.Fatalf("alpha %v did not rise from %v under sustained CNPs", rp.Alpha(), low)
+	}
+}
+
+func TestByteCounterTriggersIncrease(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{LineRate: 40e9, ByteCounter: 1 << 20, IncreaseTimer: sim.Second}
+	rp := NewRP(eng, cfg)
+	rp.OnCNP() // 20G
+	before := rp.Rate()
+	rp.OnBytesSent(2 << 20) // two byte-counter stages
+	if rp.Rate() <= before {
+		t.Fatalf("byte-counter increase did not raise rate: %v", rp.Rate())
+	}
+}
+
+func TestHyperIncreaseAfterBothCountersPassF(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{LineRate: 40e9, ByteCounter: 1 << 10, IncreaseTimer: 10 * sim.Microsecond,
+		RaiBps: 40e6, RhaiBps: 1e9}
+	rp := NewRP(eng, cfg)
+	rp.OnCNP()
+	// Push both counters past F=5.
+	rp.OnBytesSent(10 << 10)
+	eng.Run(100 * sim.Microsecond)
+	// Target rate should have grown by hyper steps (>= 1G somewhere).
+	if rp.TargetRate() <= 20e9+5*40e6 {
+		t.Fatalf("hyper increase not engaged: rt=%v", rp.TargetRate())
+	}
+}
+
+func TestNPPacesCNPs(t *testing.T) {
+	np := NewNP(Config{CNPInterval: 50 * sim.Microsecond})
+	if !np.OnMarkedPacket(0) {
+		t.Fatal("first marked packet must trigger CNP")
+	}
+	if np.OnMarkedPacket(10 * sim.Microsecond) {
+		t.Fatal("CNP within interval must be suppressed")
+	}
+	if np.OnMarkedPacket(49 * sim.Microsecond) {
+		t.Fatal("CNP within interval must be suppressed")
+	}
+	if !np.OnMarkedPacket(50 * sim.Microsecond) {
+		t.Fatal("CNP after interval must fire")
+	}
+	if np.CNPsSent != 2 {
+		t.Fatalf("CNPsSent = %d", np.CNPsSent)
+	}
+}
+
+func TestRateNeverExceedsLineOrFallsBelowMin(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{LineRate: 10e9, MinRate: 50e6, IncreaseTimer: 30 * sim.Microsecond}
+	rp := NewRP(eng, cfg)
+	rng := sim.NewRNG(5)
+	violations := 0
+	rp.OnRate = func(_, newRate float64) {
+		if newRate > 10e9+1 || newRate < 50e6-1 {
+			violations++
+		}
+	}
+	// Random CNP storms interleaved with recovery periods.
+	var storm func()
+	storm = func() {
+		if eng.Now() > 500*sim.Millisecond {
+			return
+		}
+		if rng.Float64() < 0.4 {
+			rp.OnCNP()
+		}
+		rp.OnBytesSent(rng.Intn(1 << 20))
+		eng.After(sim.Time(rng.Intn(int(200*sim.Microsecond)))+1, storm)
+	}
+	eng.After(0, storm)
+	eng.RunUntilIdle()
+	if violations > 0 {
+		t.Fatalf("%d rate bound violations", violations)
+	}
+}
+
+func BenchmarkRPCNPAndRecovery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		rp := NewRP(eng, Config{})
+		for j := 0; j < 10; j++ {
+			rp.OnCNP()
+		}
+		eng.Run(50 * sim.Millisecond)
+	}
+}

@@ -1,0 +1,181 @@
+// Package dist provides the random-variate samplers used by the workload
+// generators: memoryless (exponential) draws for the paper's "micro"
+// traces, heavy-tailed and empirical alternatives, and a two-phase
+// Markov-modulated Poisson process (MMPP) with a KPC-Toolbox-style
+// moment-matching fit for the paper's "synthetic" traces (Sec. IV-A).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"srcsim/internal/sim"
+)
+
+// Sampler produces positive random variates (inter-arrival times in
+// microseconds, request sizes in bytes, ...). Implementations draw from
+// the RNG passed at construction, so identical seeds give identical
+// streams.
+type Sampler interface {
+	// Sample returns the next variate. Values are always > 0.
+	Sample() float64
+	// Mean returns the theoretical mean of the distribution.
+	Mean() float64
+}
+
+// Exponential is a memoryless sampler. Exponential inter-arrivals and
+// sizes define the paper's micro traces.
+type Exponential struct {
+	mean float64
+	rng  *sim.RNG
+}
+
+// NewExponential returns an exponential sampler with the given mean.
+func NewExponential(mean float64, rng *sim.RNG) *Exponential {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: exponential mean %v must be positive", mean))
+	}
+	return &Exponential{mean: mean, rng: rng}
+}
+
+// Sample implements Sampler.
+func (e *Exponential) Sample() float64 {
+	v := e.rng.Exp(e.mean)
+	if v <= 0 {
+		v = e.mean * 1e-9
+	}
+	return v
+}
+
+// Mean implements Sampler.
+func (e *Exponential) Mean() float64 { return e.mean }
+
+// Constant always returns the same value; useful for deterministic tests
+// and fixed-size workloads.
+type Constant struct{ V float64 }
+
+// Sample implements Sampler.
+func (c Constant) Sample() float64 { return c.V }
+
+// Mean implements Sampler.
+func (c Constant) Mean() float64 { return c.V }
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+	rng    *sim.RNG
+}
+
+// NewUniform returns a uniform sampler on [lo, hi).
+func NewUniform(lo, hi float64, rng *sim.RNG) *Uniform {
+	if hi <= lo {
+		panic(fmt.Sprintf("dist: uniform range [%v,%v) empty", lo, hi))
+	}
+	return &Uniform{Lo: lo, Hi: hi, rng: rng}
+}
+
+// Sample implements Sampler.
+func (u *Uniform) Sample() float64 { return u.Lo + (u.Hi-u.Lo)*u.rng.Float64() }
+
+// Mean implements Sampler.
+func (u *Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// LogNormal samples a log-normal with the given (linear-space) mean and
+// squared coefficient of variation; request-size distributions in block
+// traces are commonly log-normal-like.
+type LogNormal struct {
+	mu, sigma float64
+	mean      float64
+	rng       *sim.RNG
+}
+
+// NewLogNormal builds a log-normal sampler with target mean and SCV.
+func NewLogNormal(mean, scv float64, rng *sim.RNG) *LogNormal {
+	if mean <= 0 || scv <= 0 {
+		panic(fmt.Sprintf("dist: lognormal mean %v scv %v must be positive", mean, scv))
+	}
+	sigma2 := math.Log(1 + scv)
+	mu := math.Log(mean) - sigma2/2
+	return &LogNormal{mu: mu, sigma: math.Sqrt(sigma2), mean: mean, rng: rng}
+}
+
+// Sample implements Sampler.
+func (l *LogNormal) Sample() float64 { return math.Exp(l.rng.Norm(l.mu, l.sigma)) }
+
+// Mean implements Sampler.
+func (l *LogNormal) Mean() float64 { return l.mean }
+
+// BoundedPareto samples a Pareto truncated to [Lo, Hi] with shape Alpha;
+// a standard model for heavy-tailed request sizes.
+type BoundedPareto struct {
+	Lo, Hi, Alpha float64
+	rng           *sim.RNG
+}
+
+// NewBoundedPareto returns a bounded Pareto sampler.
+func NewBoundedPareto(lo, hi, alpha float64, rng *sim.RNG) *BoundedPareto {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic(fmt.Sprintf("dist: bounded pareto params lo=%v hi=%v alpha=%v invalid", lo, hi, alpha))
+	}
+	return &BoundedPareto{Lo: lo, Hi: hi, Alpha: alpha, rng: rng}
+}
+
+// Sample implements Sampler (inverse-CDF method).
+func (p *BoundedPareto) Sample() float64 {
+	u := p.rng.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+}
+
+// Mean implements Sampler.
+func (p *BoundedPareto) Mean() float64 {
+	a := p.Alpha
+	if a == 1 {
+		return p.Lo * p.Hi / (p.Hi - p.Lo) * math.Log(p.Hi/p.Lo)
+	}
+	la := math.Pow(p.Lo, a)
+	return la / (1 - math.Pow(p.Lo/p.Hi, a)) * a / (a - 1) *
+		(1/math.Pow(p.Lo, a-1) - 1/math.Pow(p.Hi, a-1))
+}
+
+// Empirical samples with replacement from observed values; used to replay
+// the marginal distribution of an existing trace.
+type Empirical struct {
+	values []float64
+	mean   float64
+	rng    *sim.RNG
+}
+
+// NewEmpirical returns a sampler over a copy of values.
+func NewEmpirical(values []float64, rng *sim.RNG) *Empirical {
+	if len(values) == 0 {
+		panic("dist: empirical sampler needs at least one value")
+	}
+	cp := append([]float64(nil), values...)
+	var s float64
+	for _, v := range cp {
+		s += v
+	}
+	return &Empirical{values: cp, mean: s / float64(len(cp)), rng: rng}
+}
+
+// Sample implements Sampler.
+func (e *Empirical) Sample() float64 { return e.values[e.rng.Intn(len(e.values))] }
+
+// Mean implements Sampler.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Quantile returns the q-th (0..1) quantile of the empirical data.
+func (e *Empirical) Quantile(q float64) float64 {
+	sorted := append([]float64(nil), e.values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)))]
+}

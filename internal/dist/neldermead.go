@@ -1,0 +1,103 @@
+package dist
+
+import "sort"
+
+// nelderMead minimises f over R^n starting from x0 using the classic
+// downhill-simplex method (reflection 1, expansion 2, contraction 0.5,
+// shrink 0.5). It is dependency-free and adequate for the low-dimensional
+// moment-matching fits in this package. Returns the best point and value.
+func nelderMead(f func([]float64) float64, x0 []float64, maxIter int) ([]float64, float64) {
+	n := len(x0)
+	// Initial simplex: x0 plus a perturbation along each axis.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			p[i-1] += 0.5
+		}
+		pts[i] = p
+		vals[i] = f(p)
+	}
+	order := make([]int, n+1)
+
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		best, worst := order[0], order[n]
+
+		if vals[worst]-vals[best] < 1e-12 {
+			break
+		}
+
+		// Centroid of all but worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for _, i := range order[:n] {
+			for j := 0; j < n; j++ {
+				centroid[j] += pts[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+
+		// Reflect.
+		for j := 0; j < n; j++ {
+			trial[j] = centroid[j] + (centroid[j] - pts[worst][j])
+		}
+		fr := f(trial)
+		switch {
+		case fr < vals[best]:
+			// Expand.
+			exp := make([]float64, n)
+			for j := 0; j < n; j++ {
+				exp[j] = centroid[j] + 2*(centroid[j]-pts[worst][j])
+			}
+			fe := f(exp)
+			if fe < fr {
+				copy(pts[worst], exp)
+				vals[worst] = fe
+			} else {
+				copy(pts[worst], trial)
+				vals[worst] = fr
+			}
+		case fr < vals[order[n-1]]:
+			copy(pts[worst], trial)
+			vals[worst] = fr
+		default:
+			// Contract toward centroid.
+			for j := 0; j < n; j++ {
+				trial[j] = centroid[j] + 0.5*(pts[worst][j]-centroid[j])
+			}
+			fc := f(trial)
+			if fc < vals[worst] {
+				copy(pts[worst], trial)
+				vals[worst] = fc
+			} else {
+				// Shrink toward best.
+				for _, i := range order[1:] {
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[best][j] + 0.5*(pts[i][j]-pts[best][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+
+	bi := 0
+	for i, v := range vals {
+		if v < vals[bi] {
+			bi = i
+		}
+		_ = v
+	}
+	return pts[bi], vals[bi]
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig2Params models the motivating example of Fig. 2: an SSD whose total
+// throughput is a fixed IOPS budget shared by reads and writes (the
+// paper's demo device does 6 reads + 3 writes, or 3 reads + 6 writes —
+// i.e. R + W = 9), an RDMA fabric that can carry NetCap requests per
+// time unit, and a congestion event that cuts the network share of reads
+// by CutFactor.
+type Fig2Params struct {
+	SSDTotalIOPS float64 // device budget, reads + writes (9 in Fig. 2)
+	BaselineRead float64 // device read rate before congestion (6)
+	NetCap       float64 // fabric capacity for read data (6)
+	CutFactor    float64 // DCQCN's sending-rate cut (0.5)
+}
+
+// DefaultFig2Params reproduces the paper's numbers.
+func DefaultFig2Params() Fig2Params {
+	return Fig2Params{SSDTotalIOPS: 9, BaselineRead: 6, NetCap: 6, CutFactor: 0.5}
+}
+
+// Fig2Row is one scenario of the motivation example.
+type Fig2Row struct {
+	Scenario  string
+	Read      float64 // read requests delivered per time unit
+	Write     float64 // write requests completed per time unit
+	Aggregate float64
+}
+
+// Fig2Motivation computes the three Fig. 2 scenarios analytically.
+//
+//   - No congestion: the device runs its preferred mix and the network
+//     carries all read data.
+//   - DCQCN: the network carries only CutFactor of the read data; the
+//     device keeps processing reads at full speed, so the surplus is
+//     wasted and aggregate throughput drops.
+//   - SRC: the device re-prioritises so reads exactly match the reduced
+//     network rate and the freed budget goes to writes; aggregate
+//     throughput is preserved.
+func Fig2Motivation(p Fig2Params) []Fig2Row {
+	baselineWrite := p.SSDTotalIOPS - p.BaselineRead
+	netRead := p.NetCap
+	if p.BaselineRead < netRead {
+		netRead = p.BaselineRead
+	}
+
+	congestedNet := p.NetCap * p.CutFactor
+
+	// DCQCN-only: device still spends BaselineRead of its budget on
+	// reads, but only congestedNet of them reach the initiator.
+	dcqcnRead := congestedNet
+	if p.BaselineRead < dcqcnRead {
+		dcqcnRead = p.BaselineRead
+	}
+	dcqcnWrite := baselineWrite
+
+	// SRC: device read rate lowered to the network rate; the rest of the
+	// IOPS budget shifts to writes.
+	srcRead := congestedNet
+	if srcRead > p.SSDTotalIOPS {
+		srcRead = p.SSDTotalIOPS
+	}
+	srcWrite := p.SSDTotalIOPS - srcRead
+
+	return []Fig2Row{
+		{Scenario: "no congestion", Read: netRead, Write: baselineWrite, Aggregate: netRead + baselineWrite},
+		{Scenario: "DCQCN", Read: dcqcnRead, Write: dcqcnWrite, Aggregate: dcqcnRead + dcqcnWrite},
+		{Scenario: "SRC", Read: srcRead, Write: srcWrite, Aggregate: srcRead + srcWrite},
+	}
+}
+
+// FprintFig2 renders the motivation table.
+func FprintFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Fig. 2 motivation (requests per time unit)")
+	fmt.Fprintf(w, "%-14s %6s %6s %10s\n", "scenario", "read", "write", "aggregate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %6.1f %6.1f %10.1f\n", r.Scenario, r.Read, r.Write, r.Aggregate)
+	}
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"srcsim/internal/devrun"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+)
+
+// Fig5Cell is one point of the Fig. 5 grid: read/write throughput at one
+// (inter-arrival, size, weight-ratio) combination.
+type Fig5Cell struct {
+	InterArrival sim.Time
+	MeanSize     int
+	W            int
+	ReadGbps     float64
+	WriteGbps    float64
+}
+
+// Fig5WeightSweep reproduces Fig. 5: the 4×4 workload grid
+// (inter-arrival 10-25 µs × size 10-40 KB, identical read and write
+// streams) swept over weight ratios. count is the per-direction request
+// count per cell. Cells run in parallel.
+func Fig5WeightSweep(cfg ssd.Config, ws []int, count int, seed uint64) ([]Fig5Cell, error) {
+	if len(ws) == 0 {
+		ws = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	specs := devrun.DefaultGrid(count, seed)
+	type job struct{ si, wi int }
+	jobs := make([]job, 0, len(specs)*len(ws))
+	for si := range specs {
+		for wi := range ws {
+			jobs = append(jobs, job{si, wi})
+		}
+	}
+	cells := make([]Fig5Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := specs[j.si]
+			res, err := devrun.Run(cfg, spec.Trace(), ws[j.wi])
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			cells[ji] = Fig5Cell{
+				InterArrival: spec.InterArrival,
+				MeanSize:     spec.MeanSize,
+				W:            ws[j.wi],
+				ReadGbps:     res.ReadGbps,
+				WriteGbps:    res.WriteGbps,
+			}
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// FprintFig5 renders the sweep as one sub-table per workload cell,
+// mirroring the paper's 4×4 panel layout.
+func FprintFig5(w io.Writer, cells []Fig5Cell) {
+	type key struct {
+		ia   sim.Time
+		size int
+	}
+	grouped := map[key][]Fig5Cell{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.InterArrival, c.MeanSize}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], c)
+	}
+	fmt.Fprintln(w, "Fig. 5: I/O throughput across weight ratios (Gbps)")
+	for _, k := range order {
+		fmt.Fprintf(w, "inter-arrival %v, request size %d KB:\n", k.ia, k.size>>10)
+		fmt.Fprintf(w, "  %4s %8s %8s\n", "w", "read", "write")
+		for _, c := range grouped[k] {
+			fmt.Fprintf(w, "  %4d %8.2f %8.2f\n", c.W, c.ReadGbps, c.WriteGbps)
+		}
+	}
+}

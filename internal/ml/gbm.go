@@ -1,0 +1,97 @@
+package ml
+
+import "fmt"
+
+// GradientBoostingRegressor fits an additive ensemble of shallow CART
+// trees by gradient boosting with squared loss: each round fits a tree
+// to the current residuals and adds it scaled by the learning rate.
+// It is not part of the paper's Table I roster but is the natural next
+// model an adopter would try for the TPM; see the example and the
+// comparison test.
+type GradientBoostingRegressor struct {
+	// Rounds is the number of boosting stages (default 100).
+	Rounds int
+	// LearningRate shrinks each stage's contribution (default 0.1).
+	LearningRate float64
+	// MaxDepth bounds each stage's tree (default 3 — stumps-plus).
+	MaxDepth int
+	// MinLeaf is the per-leaf sample floor (default 2).
+	MinLeaf int
+	// Seed drives the per-stage tree randomness.
+	Seed uint64
+
+	base   float64
+	trees  []*DecisionTreeRegressor
+	d      int
+	fitted bool
+}
+
+// Name implements Regressor.
+func (g *GradientBoostingRegressor) Name() string { return "Gradient Boosting Regression" }
+
+// Fit implements Regressor.
+func (g *GradientBoostingRegressor) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if g.Rounds <= 0 {
+		g.Rounds = 100
+	}
+	if g.LearningRate <= 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MaxDepth <= 0 {
+		g.MaxDepth = 3
+	}
+	g.d = d
+
+	// Base prediction: the mean.
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	g.base = mean / float64(n)
+
+	residual := make([]float64, n)
+	current := make([]float64, n)
+	for i := range current {
+		current[i] = g.base
+	}
+
+	g.trees = g.trees[:0]
+	for round := 0; round < g.Rounds; round++ {
+		for i := range residual {
+			residual[i] = y[i] - current[i]
+		}
+		tree := &DecisionTreeRegressor{
+			MaxDepth: g.MaxDepth,
+			MinLeaf:  g.MinLeaf,
+			Seed:     g.Seed + uint64(round)*2654435761,
+		}
+		if err := tree.Fit(X, residual); err != nil {
+			return fmt.Errorf("ml: boosting round %d: %w", round, err)
+		}
+		g.trees = append(g.trees, tree)
+		for i, row := range X {
+			current[i] += g.LearningRate * tree.Predict(row)
+		}
+	}
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GradientBoostingRegressor) Predict(x []float64) float64 {
+	if !g.fitted {
+		panic("ml: GradientBoostingRegressor.Predict before Fit")
+	}
+	if len(x) != g.d {
+		panic(fmt.Sprintf("ml: predict with %d features, trained on %d", len(x), g.d))
+	}
+	s := g.base
+	for _, t := range g.trees {
+		s += g.LearningRate * t.Predict(x)
+	}
+	return s
+}

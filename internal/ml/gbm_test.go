@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGBMFitsNonlinearData(t *testing.T) {
+	X, y := synthDataset(1500, 31)
+	Xtest, ytest := synthDataset(400, 32)
+	gbm := &GradientBoostingRegressor{Rounds: 150, Seed: 1}
+	if err := gbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(ytest, PredictAll(gbm, Xtest)); r2 < 0.95 {
+		t.Fatalf("GBM test R2 = %v", r2)
+	}
+}
+
+func TestGBMBeatsSingleShallowTree(t *testing.T) {
+	X, y := synthDataset(1200, 33)
+	Xtest, ytest := synthDataset(300, 34)
+	stump := &DecisionTreeRegressor{MaxDepth: 3}
+	if err := stump.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	gbm := &GradientBoostingRegressor{Rounds: 100, MaxDepth: 3, Seed: 2}
+	if err := gbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	r2Stump := R2(ytest, PredictAll(stump, Xtest))
+	r2GBM := R2(ytest, PredictAll(gbm, Xtest))
+	if r2GBM <= r2Stump {
+		t.Fatalf("boosting (%v) should beat its base learner (%v)", r2GBM, r2Stump)
+	}
+}
+
+func TestGBMMoreRoundsFitTighter(t *testing.T) {
+	X, y := synthDataset(800, 35)
+	short := &GradientBoostingRegressor{Rounds: 5, Seed: 3}
+	long := &GradientBoostingRegressor{Rounds: 150, Seed: 3}
+	if err := short.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	r2Short := R2(y, PredictAll(short, X))
+	r2Long := R2(y, PredictAll(long, X))
+	if r2Long <= r2Short {
+		t.Fatalf("150 rounds (%v) should fit training data tighter than 5 (%v)", r2Long, r2Short)
+	}
+}
+
+func TestGBMErrorsAndPanics(t *testing.T) {
+	gbm := &GradientBoostingRegressor{}
+	if err := gbm.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict before Fit should panic")
+		}
+	}()
+	gbm.Predict([]float64{1})
+}
+
+func TestGBMConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	gbm := &GradientBoostingRegressor{Rounds: 10}
+	if err := gbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := gbm.Predict([]float64{2.5}); p != 7 {
+		t.Fatalf("constant predict %v", p)
+	}
+}
+
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	X, y := synthDataset(800, 41)
+	rf := &RandomForestRegressor{Trees: 25, Seed: 9}
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got, want := back.Predict(X[i]), rf.Predict(X[i]); got != want {
+			t.Fatalf("prediction %d changed after round trip: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestForestSaveBeforeFitErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&RandomForestRegressor{}).Save(&buf); err == nil {
+		t.Fatal("Save before Fit should error")
+	}
+	if _, err := LoadForest(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage load should error")
+	}
+}

@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// KNNRegressor predicts the mean target of the K nearest training samples
+// under Euclidean distance on standardized features. Table I row
+// "K-Nearest Neighbor".
+type KNNRegressor struct {
+	// K is the neighbourhood size (default 5). If fewer training samples
+	// exist, all are used.
+	K int
+
+	std    *Standardizer
+	x      [][]float64
+	y      []float64
+	fitted bool
+}
+
+// Name implements Regressor.
+func (k *KNNRegressor) Name() string { return "K-Nearest Neighbor" }
+
+// Fit implements Regressor. KNN is a lazy learner: Fit standardizes and
+// stores the training set.
+func (k *KNNRegressor) Fit(X [][]float64, y []float64) error {
+	if _, _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.std = FitStandardizer(X)
+	k.x = k.std.TransformAll(X)
+	k.y = append([]float64(nil), y...)
+	k.fitted = true
+	return nil
+}
+
+// neighborHeap is a bounded max-heap on distance, keeping the K smallest.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist float64
+	y    float64
+}
+
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) Less(i, j int) bool { return h[i].dist > h[j].dist } // max-heap
+func (h neighborHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)        { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Predict implements Regressor.
+func (k *KNNRegressor) Predict(x []float64) float64 {
+	if !k.fitted {
+		panic("ml: KNNRegressor.Predict before Fit")
+	}
+	if len(x) != len(k.std.Mean) {
+		panic(fmt.Sprintf("ml: predict with %d features, trained on %d", len(x), len(k.std.Mean)))
+	}
+	q := k.std.Transform(x)
+	kk := k.K
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	h := make(neighborHeap, 0, kk+1)
+	for i, row := range k.x {
+		var d2 float64
+		for j, v := range row {
+			dv := v - q[j]
+			d2 += dv * dv
+			// Early exit once we already exceed the current worst
+			// neighbour; saves most of the inner loop at scale.
+			if len(h) == kk && d2 > h[0].dist {
+				break
+			}
+		}
+		if len(h) < kk {
+			heap.Push(&h, neighbor{dist: d2, y: k.y[i]})
+		} else if d2 < h[0].dist {
+			h[0] = neighbor{dist: d2, y: k.y[i]}
+			heap.Fix(&h, 0)
+		}
+	}
+	var s float64
+	for _, nb := range h {
+		s += nb.y
+	}
+	return s / float64(len(h))
+}

@@ -1,0 +1,215 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearRegression is ordinary least squares fit by the normal equations
+// with a tiny ridge term for numerical stability. Table I row "Linear
+// Regression".
+type LinearRegression struct {
+	// Ridge is the relative L2 regularisation strength: the diagonal of
+	// the normal equations receives Ridge times the mean diagonal
+	// magnitude, which keeps the stabiliser meaningful regardless of
+	// feature scale (0 gives 1e-10).
+	Ridge float64
+
+	// Coef holds the fitted weights; Intercept the bias. Valid after Fit.
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+// Name implements Regressor.
+func (l *LinearRegression) Name() string { return "Linear Regression" }
+
+// Fit implements Regressor.
+func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	// Build the augmented design matrix [X | 1] normal equations:
+	// (A'A + λI) w = A'y with A n×(d+1).
+	m := d + 1
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	aty := make([]float64, m)
+	for r := 0; r < n; r++ {
+		row := X[r]
+		for i := 0; i < d; i++ {
+			vi := row[i]
+			for j := i; j < d; j++ {
+				ata[i][j] += vi * row[j]
+			}
+			ata[i][d] += vi
+			aty[i] += vi * y[r]
+		}
+		ata[d][d]++
+		aty[d] += y[r]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	ridge := l.Ridge
+	if ridge <= 0 {
+		ridge = 1e-10
+	}
+	// Jacobi equilibration: rescale to unit diagonal so the ridge term
+	// and the singularity threshold are meaningful regardless of the
+	// (often wildly mixed) feature scales.
+	s := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s[i] = math.Sqrt(ata[i][i])
+		if s[i] == 0 {
+			s[i] = 1
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			ata[i][j] /= s[i] * s[j]
+		}
+		aty[i] /= s[i]
+	}
+	for i := 0; i < d; i++ { // do not penalise the intercept
+		ata[i][i] += ridge
+	}
+	w, err := solveLinearSystem(ata, aty)
+	if err != nil {
+		return fmt.Errorf("ml: linear regression solve: %w", err)
+	}
+	for i := range w {
+		w[i] /= s[i]
+	}
+	l.Coef = w[:d]
+	l.Intercept = w[d]
+	l.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	if !l.fitted {
+		panic("ml: LinearRegression.Predict before Fit")
+	}
+	if len(x) != len(l.Coef) {
+		panic(fmt.Sprintf("ml: predict with %d features, trained on %d", len(x), len(l.Coef)))
+	}
+	s := l.Intercept
+	for i, c := range l.Coef {
+		s += c * x[i]
+	}
+	return s
+}
+
+// solveLinearSystem solves Ax = b by Gaussian elimination with partial
+// pivoting. A and b are mutated.
+func solveLinearSystem(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Callers pass equilibrated (unit-diagonal) systems, so an absolute
+	// threshold is meaningful.
+	const threshold = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < threshold {
+			return nil, errors.New("singular system")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x, nil
+}
+
+// PolynomialRegression fits OLS on a degree-2 polynomial expansion of the
+// features (all x_i, all x_i·x_j with i ≤ j). Table I row "Polynomial
+// Regression".
+type PolynomialRegression struct {
+	// Ridge is passed through to the underlying linear solve.
+	Ridge float64
+
+	lin    LinearRegression
+	d      int
+	fitted bool
+}
+
+// Name implements Regressor.
+func (p *PolynomialRegression) Name() string { return "Polynomial Regression" }
+
+// expand maps x to its degree-2 feature vector.
+func expandPoly2(x []float64, out []float64) []float64 {
+	out = out[:0]
+	out = append(out, x...)
+	for i := 0; i < len(x); i++ {
+		for j := i; j < len(x); j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// Fit implements Regressor.
+func (p *PolynomialRegression) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	_ = n
+	p.d = d
+	exp := make([][]float64, len(X))
+	for i, row := range X {
+		exp[i] = expandPoly2(row, nil)
+	}
+	p.lin = LinearRegression{Ridge: p.Ridge}
+	if p.lin.Ridge <= 0 {
+		// Quadratic expansions are much more collinear; use a firmer
+		// default stabiliser.
+		p.lin.Ridge = 1e-8
+	}
+	if err := p.lin.Fit(exp, y); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (p *PolynomialRegression) Predict(x []float64) float64 {
+	if !p.fitted {
+		panic("ml: PolynomialRegression.Predict before Fit")
+	}
+	if len(x) != p.d {
+		panic(fmt.Sprintf("ml: predict with %d features, trained on %d", len(x), p.d))
+	}
+	return p.lin.Predict(expandPoly2(x, nil))
+}

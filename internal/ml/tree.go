@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"srcsim/internal/sim"
+)
+
+// DecisionTreeRegressor is a CART regression tree grown by greedy
+// variance-reduction splitting. Table I row "Decision Tree Regression".
+// The zero value uses sensible defaults; set fields before Fit to tune.
+type DecisionTreeRegressor struct {
+	// MaxDepth bounds tree depth (default 14).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MinSplit is the minimum samples needed to attempt a split
+	// (default 2*MinLeaf).
+	MinSplit int
+	// MaxFeatures limits how many randomly chosen features are examined
+	// per split; 0 examines all (random forests set d/3).
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed uint64
+
+	root       *treeNode
+	d          int
+	importance []float64 // raw SSE reduction per feature
+	totalSSE   float64
+	rng        *sim.RNG
+	fitted     bool
+}
+
+type treeNode struct {
+	feature     int // -1 for leaf
+	threshold   float64
+	left, right *treeNode
+	value       float64
+	n           int
+}
+
+// Name implements Regressor.
+func (t *DecisionTreeRegressor) Name() string { return "Decision Tree Regression" }
+
+func (t *DecisionTreeRegressor) defaults() {
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 14
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 2
+	}
+	if t.MinSplit <= 0 {
+		t.MinSplit = 2 * t.MinLeaf
+	}
+}
+
+// Fit implements Regressor.
+func (t *DecisionTreeRegressor) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	t.defaults()
+	t.d = d
+	t.importance = make([]float64, d)
+	t.rng = sim.NewRNG(t.Seed ^ 0x9e3779b97f4a7c15)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	t.fitted = true
+	return nil
+}
+
+// sseOf returns (sum, sse) of y over idx.
+func sseOf(y []float64, idx []int) (sum, sse float64) {
+	for _, i := range idx {
+		sum += y[i]
+	}
+	mean := sum / float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return sum, sse
+}
+
+func (t *DecisionTreeRegressor) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	sum, sse := sseOf(y, idx)
+	node := &treeNode{feature: -1, value: sum / float64(len(idx)), n: len(idx)}
+	if depth == 0 {
+		t.totalSSE = sse
+	}
+	if depth >= t.MaxDepth || len(idx) < t.MinSplit || sse <= 1e-12 {
+		return node
+	}
+
+	bestFeature, bestThreshold, bestGain := -1, 0.0, 0.0
+	var bestSplit int
+
+	features := t.candidateFeatures()
+	// Sorted index buffer reused across features.
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Prefix scan of sums to evaluate every boundary in O(n).
+		var leftSum, leftSq float64
+		totalSq := 0.0
+		for _, i := range order {
+			totalSq += y[i] * y[i]
+		}
+		totalSum := sum
+		nTot := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			leftSum += yi
+			leftSq += yi * yi
+			// Can't split between equal feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := nTot - nl
+			if int(nl) < t.MinLeaf || int(nr) < t.MinLeaf {
+				continue
+			}
+			sseL := leftSq - leftSum*leftSum/nl
+			rightSum := totalSum - leftSum
+			sseR := (totalSq - leftSq) - rightSum*rightSum/nr
+			gain := sse - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (X[order[k]][f] + X[order[k+1]][f]) / 2
+				bestSplit = k + 1
+			}
+		}
+		_ = bestSplit
+	}
+
+	if bestFeature < 0 || bestGain <= 1e-12 {
+		return node
+	}
+
+	t.importance[bestFeature] += bestGain
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = t.build(X, y, leftIdx, depth+1)
+	node.right = t.build(X, y, rightIdx, depth+1)
+	return node
+}
+
+// candidateFeatures returns the features to examine at a split: all of
+// them, or a random subset of size MaxFeatures.
+func (t *DecisionTreeRegressor) candidateFeatures() []int {
+	if t.MaxFeatures <= 0 || t.MaxFeatures >= t.d {
+		all := make([]int, t.d)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := t.rng.Perm(t.d)
+	return perm[:t.MaxFeatures]
+}
+
+// Predict implements Regressor.
+func (t *DecisionTreeRegressor) Predict(x []float64) float64 {
+	if !t.fitted {
+		panic("ml: DecisionTreeRegressor.Predict before Fit")
+	}
+	if len(x) != t.d {
+		panic(fmt.Sprintf("ml: predict with %d features, trained on %d", len(x), t.d))
+	}
+	node := t.root
+	for node.feature >= 0 {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// Depth returns the height of the fitted tree (leaf-only tree = 0).
+func (t *DecisionTreeRegressor) Depth() int {
+	var walk func(*treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// LeafCount returns the number of leaves in the fitted tree.
+func (t *DecisionTreeRegressor) LeafCount() int {
+	var walk func(*treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.feature < 0 {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}
+
+// FeatureImportances returns the normalized SSE-reduction attributed to
+// each feature (sums to 1 when any split occurred) — Breiman importance.
+func (t *DecisionTreeRegressor) FeatureImportances() []float64 {
+	out := make([]float64, len(t.importance))
+	var total float64
+	for _, v := range t.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range t.importance {
+		out[i] = v / total
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"fmt"
+
+	"srcsim/internal/sim"
+)
+
+// ClosSpec describes the multistage switching fabric of the paper's
+// testbed (Sec. IV-A): pods of leaf and top-of-rack switches with hosts
+// under the ToRs and a spine layer joining the pods.
+type ClosSpec struct {
+	Pods        int // default 4
+	LeafPerPod  int // default 2
+	TorPerPod   int // default 4
+	HostsPerTor int // default 16 (64 hosts per pod)
+	Spines      int // default 4
+	// LinkRate (bits/s) and LinkDelay apply to every link; the paper
+	// uses 40 Gbps and 1 µs.
+	LinkRate  float64
+	LinkDelay sim.Time
+}
+
+// WithDefaults fills unset fields with the paper's topology.
+func (s ClosSpec) WithDefaults() ClosSpec {
+	if s.Pods <= 0 {
+		s.Pods = 4
+	}
+	if s.LeafPerPod <= 0 {
+		s.LeafPerPod = 2
+	}
+	if s.TorPerPod <= 0 {
+		s.TorPerPod = 4
+	}
+	if s.HostsPerTor <= 0 {
+		s.HostsPerTor = 16
+	}
+	if s.Spines <= 0 {
+		s.Spines = 4
+	}
+	if s.LinkRate <= 0 {
+		s.LinkRate = 40e9
+	}
+	if s.LinkDelay <= 0 {
+		s.LinkDelay = sim.Microsecond
+	}
+	return s
+}
+
+// Hosts returns the total host count of the spec.
+func (s ClosSpec) Hosts() int {
+	s = s.WithDefaults()
+	return s.Pods * s.TorPerPod * s.HostsPerTor
+}
+
+// BuildClos constructs the Clos fabric in net and returns the hosts in
+// (pod, tor, index) order. It computes routes before returning.
+func BuildClos(net *Network, spec ClosSpec) []*Node {
+	spec = spec.WithDefaults()
+	spines := make([]*Node, spec.Spines)
+	for i := range spines {
+		spines[i] = net.AddSwitch(fmt.Sprintf("spine%d", i))
+	}
+	var hosts []*Node
+	for p := 0; p < spec.Pods; p++ {
+		leaves := make([]*Node, spec.LeafPerPod)
+		for l := range leaves {
+			leaves[l] = net.AddSwitch(fmt.Sprintf("pod%d-leaf%d", p, l))
+			for _, sp := range spines {
+				net.Connect(leaves[l], sp, spec.LinkRate, spec.LinkDelay)
+			}
+		}
+		for t := 0; t < spec.TorPerPod; t++ {
+			tor := net.AddSwitch(fmt.Sprintf("pod%d-tor%d", p, t))
+			for _, leaf := range leaves {
+				net.Connect(tor, leaf, spec.LinkRate, spec.LinkDelay)
+			}
+			for h := 0; h < spec.HostsPerTor; h++ {
+				host := net.AddHost(fmt.Sprintf("pod%d-tor%d-host%d", p, t, h))
+				net.Connect(host, tor, spec.LinkRate, spec.LinkDelay)
+				hosts = append(hosts, host)
+			}
+		}
+	}
+	net.ComputeRoutes()
+	return hosts
+}
+
+// BuildRack constructs the minimal topology for the paper's small-scale
+// experiments: n hosts under a single ToR switch. Routes are computed
+// before returning.
+func BuildRack(net *Network, n int, linkRate float64, delay sim.Time) []*Node {
+	if n < 2 {
+		panic(fmt.Sprintf("netsim: rack needs >= 2 hosts, got %d", n))
+	}
+	if delay <= 0 {
+		delay = sim.Microsecond
+	}
+	tor := net.AddSwitch("tor")
+	hosts := make([]*Node, n)
+	for i := range hosts {
+		hosts[i] = net.AddHost(fmt.Sprintf("host%d", i))
+		net.Connect(hosts[i], tor, linkRate, delay)
+	}
+	net.ComputeRoutes()
+	return hosts
+}

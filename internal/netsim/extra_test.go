@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"testing"
+
+	"srcsim/internal/dcqcn"
+	"srcsim/internal/sim"
+)
+
+func TestECMPSpreadsManyFlows(t *testing.T) {
+	// Many flows between two pods should use more than one spine.
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildClos(net, ClosSpec{Pods: 2, LeafPerPod: 1, TorPerPod: 1, HostsPerTor: 2, Spines: 4})
+	src, dst := hosts[0], hosts[2]
+	done := 0
+	dst.NIC.OnMessage = func(*Flow, uint64, int, any) { done++ }
+	const flows = 32
+	for i := 0; i < flows; i++ {
+		f := net.NewFlow(src, dst)
+		f.Send(64<<10, nil)
+	}
+	eng.RunUntilIdle()
+	if done != flows {
+		t.Fatalf("delivered %d/%d", done, flows)
+	}
+	spinesUsed := 0
+	for _, n := range net.Nodes() {
+		if n.IsSwitch && len(n.Name) >= 5 && n.Name[:5] == "spine" && n.ForwardedPk > 0 {
+			spinesUsed++
+		}
+	}
+	if spinesUsed < 2 {
+		t.Fatalf("ECMP used %d spines for %d flows, want >= 2", spinesUsed, flows)
+	}
+}
+
+func TestPausedTimeAccounted(t *testing.T) {
+	// Overload with ECN disabled: PFC pauses accumulate measurable
+	// paused time on some port.
+	eng, net := newTestNet(t, Config{DisableECN: true, Seed: 21})
+	hosts := BuildRack(net, 4, 5e9, sim.Microsecond)
+	for i := 0; i < 3; i++ {
+		f := net.NewFlow(hosts[i], hosts[3])
+		for j := 0; j < 15; j++ {
+			f.Send(1<<20, nil)
+		}
+	}
+	eng.RunUntilIdle()
+	var paused sim.Time
+	for _, n := range net.Nodes() {
+		for _, p := range n.Ports() {
+			paused += p.PausedTime
+		}
+	}
+	if net.PFCPauses == 0 {
+		t.Fatal("no PFC pauses under overload")
+	}
+	if paused == 0 {
+		t.Fatal("pauses happened but no paused time accumulated")
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 10e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	f.Send(1<<20, nil)
+	eng.RunUntilIdle()
+	// Host 0's uplink transmitted 256 MTU packets of the message.
+	up := hosts[0].Ports()[0]
+	if up.TxBytes != 1<<20 {
+		t.Fatalf("uplink TxBytes %d", up.TxBytes)
+	}
+	if up.TxPackets != 256 {
+		t.Fatalf("uplink TxPackets %d, want 256", up.TxPackets)
+	}
+	if up.DataQueueLen() != 0 {
+		t.Fatalf("residual queue %d", up.DataQueueLen())
+	}
+	if up.Paused() {
+		t.Fatal("port paused after idle")
+	}
+}
+
+func TestCNPRoutedAcrossClos(t *testing.T) {
+	// Congestion in a multi-hop fabric: CNPs must find their way back to
+	// the sender across pods.
+	eng, net := newTestNet(t, Config{Seed: 31})
+	hosts := BuildClos(net, ClosSpec{Pods: 2, LeafPerPod: 2, TorPerPod: 2, HostsPerTor: 2, Spines: 2, LinkRate: 5e9})
+	dst := hosts[len(hosts)-1]
+	src0, src1 := hosts[0], hosts[1]
+	f0 := net.NewFlow(src0, dst)
+	f1 := net.NewFlow(src1, dst)
+	for i := 0; i < 60; i++ {
+		f0.Send(1<<20, nil)
+		f1.Send(1<<20, nil)
+	}
+	eng.RunUntilIdle()
+	if net.CNPsSent == 0 {
+		t.Fatal("no CNPs under cross-fabric incast")
+	}
+	if src0.NIC.CNPsReceived+src1.NIC.CNPsReceived == 0 {
+		t.Fatal("CNPs never reached the senders")
+	}
+	rp0 := f0.RP.(*dcqcn.RP)
+	rp1 := f1.RP.(*dcqcn.RP)
+	if rp0.CNPs+rp1.CNPs == 0 {
+		t.Fatal("CNPs not dispatched to flow RPs")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	_ = eng
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	net.Connect(a, b, 1e9, -1)
+}
+
+func TestRouteMissingPanics(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	a := net.AddHost("a")
+	sw := net.AddSwitch("sw")
+	b := net.AddHost("b")
+	net.Connect(a, sw, 1e9, sim.Microsecond)
+	net.Connect(sw, b, 1e9, sim.Microsecond)
+	// No ComputeRoutes: the switch cannot forward and must panic.
+	f := net.NewFlow(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing routes should panic")
+		}
+	}()
+	f.Send(4096, nil)
+	eng.RunUntilIdle()
+}
+
+func TestBuildRackValidation(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	_ = eng
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rack with 1 host should panic")
+		}
+	}()
+	BuildRack(net, 1, 1e9, sim.Microsecond)
+}
+
+func TestClosSpecHosts(t *testing.T) {
+	if (ClosSpec{}).Hosts() != 256 {
+		t.Fatalf("default Clos hosts %d, want 256", (ClosSpec{}).Hosts())
+	}
+	if (ClosSpec{Pods: 2, TorPerPod: 3, HostsPerTor: 4}).Hosts() != 24 {
+		t.Fatal("custom Clos host count")
+	}
+}
+
+func TestTwoPriorityQueuesCtrlFirst(t *testing.T) {
+	// Control frames (CNPs) jump ahead of queued data.
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 1e9, sim.Microsecond) // slow: data queues up
+	f := net.NewFlow(hosts[0], hosts[1])
+	f.Send(1<<20, nil)
+	// Give the port a backlog, then enqueue a control frame directly.
+	eng.Run(100 * sim.Microsecond)
+	port := hosts[0].Ports()[0]
+	if port.DataQueueLen() == 0 {
+		t.Fatal("setup: expected data backlog")
+	}
+	got := false
+	// A CNP from host0 to host1 (flow id unused by the NIC's CNP path
+	// since there is no flow registered for it — count arrival at the
+	// switch instead by checking it was transmitted promptly).
+	before := port.TxPackets
+	port.enqueueCtrl(&Packet{Src: hosts[0].ID, Dst: hosts[1].ID, FlowID: 999999, Size: 64, Kind: CNP})
+	eng.Run(200 * sim.Microsecond)
+	_ = got
+	// The ctrl frame plus at most a handful of data packets were sent in
+	// 100us at 1G (one 4KiB packet takes ~32.8us): if the ctrl frame had
+	// waited behind the whole megabyte it could not have gone out yet.
+	if port.TxPackets <= before {
+		t.Fatal("control frame not transmitted")
+	}
+	eng.RunUntilIdle()
+}

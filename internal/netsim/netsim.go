@@ -1,0 +1,178 @@
+// Package netsim is a packet-level network simulator in the spirit of the
+// NS3-RDMA models used by the DCQCN line of work and by the paper's
+// evaluation: store-and-forward switches with per-egress-port FIFO
+// queues, RED-style ECN marking (the DCQCN congestion point), PFC
+// XOFF/XON flow control for losslessness, ECMP routing over arbitrary
+// topologies (a Clos builder matching the paper's testbed is provided),
+// and host NICs that pace per-flow traffic under DCQCN reaction-point
+// control.
+//
+// The unit conventions: rates are bits/second, sizes are bytes, time is
+// sim.Time (nanoseconds).
+package netsim
+
+import (
+	"fmt"
+
+	"srcsim/internal/dcqcn"
+	"srcsim/internal/sim"
+	"srcsim/internal/timely"
+)
+
+// CCAlg selects the congestion-control algorithm new flows run.
+type CCAlg int
+
+const (
+	// CCDCQCN is the paper's baseline (ECN/CNP-driven), the default.
+	CCDCQCN CCAlg = iota
+	// CCTIMELY is the delay-based alternative; flows request per-packet
+	// acknowledgements for RTT sampling.
+	CCTIMELY
+	// CCNone disables rate control: flows pace at line rate and only
+	// PFC restrains them (ablation baseline).
+	CCNone
+)
+
+// String implements fmt.Stringer.
+func (a CCAlg) String() string {
+	switch a {
+	case CCDCQCN:
+		return "DCQCN"
+	case CCTIMELY:
+		return "TIMELY"
+	case CCNone:
+		return "none"
+	default:
+		return fmt.Sprintf("CCAlg(%d)", int(a))
+	}
+}
+
+// RateController is the per-flow reaction point a sender paces from.
+// dcqcn.RP and timely.RP implement it; CCNone uses a fixed-rate stub.
+type RateController interface {
+	// Rate returns the current pacing rate in bits/s.
+	Rate() float64
+	// OnBytesSent feeds transmitted payload bytes (byte-counter clocks).
+	OnBytesSent(n int)
+	// OnCongestionSignal delivers an explicit congestion notification
+	// (a CNP for this flow).
+	OnCongestionSignal()
+	// OnAck delivers one RTT sample (only called when NeedsAck).
+	OnAck(rtt sim.Time)
+	// NeedsAck reports whether the receiver should acknowledge every
+	// data packet for RTT measurement.
+	NeedsAck() bool
+	// SetRateListener registers the observer invoked on every rate
+	// change (old, new in bits/s) — SRC's congestion-event source.
+	SetRateListener(fn func(oldRate, newRate float64))
+}
+
+// Config parameterises the fabric.
+type Config struct {
+	// DCQCN carries the congestion-control constants (CP marking, RP/NP
+	// behaviour). DCQCN.LineRate is used as the default link rate.
+	DCQCN dcqcn.Config
+	// CC selects the congestion-control algorithm for new flows
+	// (default CCDCQCN); TIMELY carries the constants for CCTIMELY.
+	CC     CCAlg
+	TIMELY timely.Config
+	// MTU is the data-packet payload size in bytes (default 4096).
+	MTU int
+	// PFCXoff and PFCXon are the per-ingress pause thresholds in bytes
+	// (defaults 128 KiB / 96 KiB). EnablePFC defaults to true via
+	// WithDefaults.
+	PFCXoff int64
+	PFCXon  int64
+	// CtrlPacketSize is the wire size of CNP/PFC frames (default 64).
+	CtrlPacketSize int
+	// DisablePFC and DisableECN switch off the respective mechanisms
+	// (for ablations).
+	DisablePFC bool
+	DisableECN bool
+	// Seed drives ECN marking randomness.
+	Seed uint64
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	c.DCQCN = c.DCQCN.WithDefaults()
+	if c.MTU <= 0 {
+		c.MTU = 4096
+	}
+	if c.PFCXoff <= 0 {
+		c.PFCXoff = 128 << 10
+	}
+	if c.PFCXon <= 0 {
+		c.PFCXon = 96 << 10
+	}
+	if c.CtrlPacketSize <= 0 {
+		c.CtrlPacketSize = 64
+	}
+	return c
+}
+
+// Validate reports inconsistent settings.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if err := c.DCQCN.Validate(); err != nil {
+		return err
+	}
+	if c.PFCXon >= c.PFCXoff {
+		return fmt.Errorf("netsim: PFC Xon %d must be below Xoff %d", c.PFCXon, c.PFCXoff)
+	}
+	return nil
+}
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Kind labels a packet's role.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Data Kind = iota
+	CNP
+	Ack
+	PauseFrame
+	ResumeFrame
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case CNP:
+		return "cnp"
+	case Ack:
+		return "ack"
+	case PauseFrame:
+		return "pause"
+	case ResumeFrame:
+		return "resume"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one unit on the wire. A single Packet value moves hop by hop
+// (the simulator never duplicates it).
+type Packet struct {
+	Src, Dst NodeID
+	FlowID   int
+	MsgID    uint64
+	MsgSize  int
+	Size     int
+	Kind     Kind
+	ECN      bool
+	Last     bool
+	// SentAt is the transmission timestamp for RTT measurement (echoed
+	// in Ack frames).
+	SentAt sim.Time
+	// Payload rides only on the last packet of a message and is handed
+	// to the receiver's OnMessage callback.
+	Payload any
+
+	ingress *Port // per-hop PFC attribution at the current switch
+}

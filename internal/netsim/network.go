@@ -1,0 +1,327 @@
+package netsim
+
+import (
+	"fmt"
+
+	"srcsim/internal/sim"
+)
+
+// Network owns the nodes, links, flows, and global counters of one
+// simulated fabric.
+type Network struct {
+	Cfg Config
+
+	eng   *sim.Engine
+	rng   *sim.RNG
+	nodes []*Node
+	flows map[int]*Flow
+	nextF int
+
+	// Global counters.
+	ECNMarks   uint64
+	PFCPauses  uint64
+	PFCResumes uint64
+	CNPsSent   uint64
+}
+
+// NewNetwork builds an empty fabric on eng.
+func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		Cfg:   cfg,
+		eng:   eng,
+		rng:   sim.NewRNG(cfg.Seed ^ 0x6e7374),
+		flows: make(map[int]*Flow),
+	}, nil
+}
+
+// Engine returns the event engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Node is a host or switch.
+type Node struct {
+	ID       NodeID
+	Name     string
+	IsSwitch bool
+
+	net      *Network
+	ports    []*Port
+	nextHops [][]int16 // per destination: candidate egress port indexes
+
+	// Hosts only.
+	NIC *HostNIC
+
+	// PFC ingress accounting (switches and hosts alike).
+	ingressBytes []int64
+	xoffSent     []bool
+
+	// Counters.
+	PFCPausesRx uint64
+	ForwardedPk uint64
+}
+
+// AddHost adds a host node with an attached NIC.
+func (n *Network) AddHost(name string) *Node {
+	node := &Node{ID: NodeID(len(n.nodes)), Name: name, net: n}
+	node.NIC = newHostNIC(node)
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// AddSwitch adds a switch node.
+func (n *Network) AddSwitch(name string) *Node {
+	node := &Node{ID: NodeID(len(n.nodes)), Name: name, IsSwitch: true, net: n}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Port is one direction of attachment of a node to a link: it owns the
+// egress queue toward its peer.
+type Port struct {
+	node  *Node
+	index int
+	peer  *Port
+
+	rate  float64  // bits/s
+	delay sim.Time // propagation
+
+	ctrlQ        []*Packet
+	dataQ        []*Packet
+	dataHead     int
+	QueueBytes   int64
+	transmitting bool
+	paused       bool
+
+	// Counters.
+	TxPackets, TxBytes uint64
+	PausedTime         sim.Time
+	pausedAt           sim.Time
+}
+
+// Connect links two nodes with a full-duplex link of the given rate
+// (bits/s; 0 uses the configured line rate) and propagation delay.
+func (n *Network) Connect(a, b *Node, rate float64, delay sim.Time) (ab, ba *Port) {
+	if rate <= 0 {
+		rate = n.Cfg.DCQCN.LineRate
+	}
+	if delay < 0 {
+		panic("netsim: negative link delay")
+	}
+	pa := &Port{node: a, index: len(a.ports), rate: rate, delay: delay}
+	pb := &Port{node: b, index: len(b.ports), rate: rate, delay: delay}
+	pa.peer, pb.peer = pb, pa
+	a.ports = append(a.ports, pa)
+	a.ingressBytes = append(a.ingressBytes, 0)
+	a.xoffSent = append(a.xoffSent, false)
+	b.ports = append(b.ports, pb)
+	b.ingressBytes = append(b.ingressBytes, 0)
+	b.xoffSent = append(b.xoffSent, false)
+	return pa, pb
+}
+
+// ComputeRoutes builds per-destination ECMP next-hop tables with BFS.
+// Call after the topology is final and before any traffic.
+func (n *Network) ComputeRoutes() {
+	total := len(n.nodes)
+	for _, node := range n.nodes {
+		node.nextHops = make([][]int16, total)
+	}
+	for _, dst := range n.nodes {
+		// BFS from dst over reverse edges (links are symmetric).
+		dist := make([]int, total)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst.ID] = 0
+		queue := []*Node{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range cur.ports {
+				nb := p.peer.node
+				if dist[nb.ID] < 0 {
+					dist[nb.ID] = dist[cur.ID] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, node := range n.nodes {
+			if node.ID == dst.ID || dist[node.ID] < 0 {
+				continue
+			}
+			for i, p := range node.ports {
+				if d := dist[p.peer.node.ID]; d >= 0 && d == dist[node.ID]-1 {
+					node.nextHops[dst.ID] = append(node.nextHops[dst.ID], int16(i))
+				}
+			}
+		}
+	}
+}
+
+// pickEgress selects the ECMP next hop for a packet at node.
+func (node *Node) pickEgress(pkt *Packet) *Port {
+	hops := node.nextHops[pkt.Dst]
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("netsim: no route from %s to node %d (ComputeRoutes missing?)", node.Name, pkt.Dst))
+	}
+	if len(hops) == 1 {
+		return node.ports[hops[0]]
+	}
+	// Deterministic flow hash keeps a flow on one path (no reordering).
+	h := uint64(pkt.FlowID)*0x9e3779b97f4a7c15 ^ uint64(pkt.Src)<<32 ^ uint64(pkt.Dst)
+	h ^= h >> 29
+	return node.ports[hops[h%uint64(len(hops))]]
+}
+
+// enqueueCtrl queues a control frame (CNP/PFC) at highest priority;
+// control traffic ignores PFC pause and never gets ECN-marked.
+func (p *Port) enqueueCtrl(pkt *Packet) {
+	p.ctrlQ = append(p.ctrlQ, pkt)
+	p.trySend()
+}
+
+// enqueueData queues a data packet, applying ECN marking at switches and
+// PFC ingress accounting.
+func (p *Port) enqueueData(pkt *Packet) {
+	net := p.node.net
+	if p.node.IsSwitch && !net.Cfg.DisableECN && !pkt.ECN {
+		if net.rng.Float64() < net.Cfg.DCQCN.MarkProbability(p.QueueBytes) {
+			pkt.ECN = true
+			net.ECNMarks++
+		}
+	}
+	p.dataQ = append(p.dataQ, pkt)
+	p.QueueBytes += int64(pkt.Size)
+	if pkt.ingress != nil {
+		node := p.node
+		in := pkt.ingress.index
+		node.ingressBytes[in] += int64(pkt.Size)
+		if !net.Cfg.DisablePFC && !node.xoffSent[in] && node.ingressBytes[in] > net.Cfg.PFCXoff {
+			node.xoffSent[in] = true
+			node.sendPFC(pkt.ingress, PauseFrame)
+		}
+	}
+	p.trySend()
+}
+
+// sendPFC emits a pause/resume frame out of the given ingress port to the
+// upstream neighbour.
+func (node *Node) sendPFC(in *Port, kind Kind) {
+	net := node.net
+	if kind == PauseFrame {
+		net.PFCPauses++
+	} else {
+		net.PFCResumes++
+	}
+	in.enqueueCtrl(&Packet{
+		Src: node.ID, Dst: in.peer.node.ID,
+		Size: net.Cfg.CtrlPacketSize, Kind: kind,
+	})
+}
+
+// trySend starts transmitting the next eligible packet, if idle.
+func (p *Port) trySend() {
+	if p.transmitting {
+		return
+	}
+	var pkt *Packet
+	switch {
+	case len(p.ctrlQ) > 0:
+		pkt = p.ctrlQ[0]
+		p.ctrlQ[0] = nil
+		p.ctrlQ = p.ctrlQ[1:]
+	case p.dataHead < len(p.dataQ) && !p.paused:
+		pkt = p.dataQ[p.dataHead]
+		p.dataQ[p.dataHead] = nil
+		p.dataHead++
+		if p.dataHead > 64 && p.dataHead*2 >= len(p.dataQ) {
+			p.dataQ = append(p.dataQ[:0], p.dataQ[p.dataHead:]...)
+			p.dataHead = 0
+		}
+		p.QueueBytes -= int64(pkt.Size)
+		if pkt.ingress != nil {
+			node := p.node
+			in := pkt.ingress.index
+			node.ingressBytes[in] -= int64(pkt.Size)
+			net := p.node.net
+			if node.xoffSent[in] && node.ingressBytes[in] < net.Cfg.PFCXon {
+				node.xoffSent[in] = false
+				node.sendPFC(pkt.ingress, ResumeFrame)
+			}
+			pkt.ingress = nil
+		}
+	default:
+		return
+	}
+
+	p.transmitting = true
+	eng := p.node.net.eng
+	txTime := sim.Time(float64(pkt.Size*8) / p.rate * float64(sim.Second))
+	if txTime < 1 {
+		txTime = 1
+	}
+	eng.After(txTime, func() {
+		p.transmitting = false
+		p.TxPackets++
+		p.TxBytes += uint64(pkt.Size)
+		peer := p.peer
+		eng.After(p.delay, func() {
+			peer.node.receive(pkt, peer)
+		})
+		p.trySend()
+	})
+}
+
+// DataQueueLen returns the number of waiting data packets.
+func (p *Port) DataQueueLen() int { return len(p.dataQ) - p.dataHead }
+
+// Paused reports whether PFC has silenced this port's data traffic.
+func (p *Port) Paused() bool { return p.paused }
+
+// receive handles a packet arriving at node on port in.
+func (node *Node) receive(pkt *Packet, in *Port) {
+	switch pkt.Kind {
+	case PauseFrame:
+		node.PFCPausesRx++
+		if !in.paused {
+			in.paused = true
+			in.pausedAt = node.net.eng.Now()
+		}
+		return
+	case ResumeFrame:
+		if in.paused {
+			in.paused = false
+			in.PausedTime += node.net.eng.Now() - in.pausedAt
+			in.trySend()
+		}
+		return
+	}
+	if pkt.Dst == node.ID {
+		if node.NIC == nil {
+			panic(fmt.Sprintf("netsim: packet addressed to switch %s", node.Name))
+		}
+		node.NIC.receive(pkt)
+		return
+	}
+	// Forward.
+	node.ForwardedPk++
+	egress := node.pickEgress(pkt)
+	if pkt.Kind == Data {
+		pkt.ingress = in
+		egress.enqueueData(pkt)
+	} else {
+		egress.enqueueCtrl(pkt)
+	}
+}
+
+// Ports returns the node's ports (for inspection in tests/metrics).
+func (node *Node) Ports() []*Port { return node.ports }

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"fmt"
+
+	"srcsim/internal/dcqcn"
+	"srcsim/internal/sim"
+	"srcsim/internal/timely"
+)
+
+// HostNIC terminates flows at a host: it paces per-flow transmission
+// under a DCQCN reaction point, reassembles received messages, generates
+// CNPs for ECN-marked arrivals (notification point), and dispatches CNPs
+// back to the owning flow's RP.
+type HostNIC struct {
+	node *Node
+
+	// OnMessage is invoked when a complete message arrives, with the
+	// delivering flow, the message size, and the sender-attached payload.
+	OnMessage func(flow *Flow, msgID uint64, size int, payload any)
+
+	flows []*Flow // flows originating here
+
+	recv map[recvKey]int // bytes received per in-flight message
+
+	// Counters.
+	CNPsReceived  uint64
+	BytesSent     uint64
+	BytesReceived uint64
+	MsgsDelivered uint64
+}
+
+type recvKey struct {
+	flow int
+	msg  uint64
+}
+
+func newHostNIC(node *Node) *HostNIC {
+	return &HostNIC{node: node, recv: make(map[recvKey]int)}
+}
+
+// Node returns the owning host node.
+func (nic *HostNIC) Node() *Node { return nic.node }
+
+// Flow is a unidirectional RDMA-like data stream between two hosts with
+// its own DCQCN state. Messages sent on a flow are segmented into MTU
+// packets, paced at the RP's current rate, and delivered in order.
+type Flow struct {
+	ID  int
+	Src *Node
+	Dst *Node
+
+	// RP is the flow's reaction point (DCQCN by default; selected by
+	// Config.CC).
+	RP RateController
+	NP *dcqcn.NP
+
+	nic *HostNIC
+
+	sendq    []*outMsg
+	headSent int // bytes of the head message already transmitted
+	pacing   bool
+	nextFree sim.Time
+	nextMsg  uint64
+
+	// QueuedBytes counts bytes accepted by Send but not yet handed to
+	// the port — together with the port queue this is the paper's "TXQ"
+	// backlog on targets.
+	QueuedBytes int64
+}
+
+type outMsg struct {
+	id      uint64
+	size    int
+	payload any
+}
+
+// staticRC is the CCNone controller: a fixed line-rate pacer.
+type staticRC struct{ rate float64 }
+
+func (s *staticRC) Rate() float64                          { return s.rate }
+func (s *staticRC) OnBytesSent(int)                        {}
+func (s *staticRC) OnCongestionSignal()                    {}
+func (s *staticRC) OnAck(sim.Time)                         {}
+func (s *staticRC) NeedsAck() bool                         { return false }
+func (s *staticRC) SetRateListener(func(old, new float64)) {}
+
+// newRateController builds the configured reaction point.
+func (n *Network) newRateController() RateController {
+	switch n.Cfg.CC {
+	case CCTIMELY:
+		tc := n.Cfg.TIMELY
+		if tc.LineRate <= 0 {
+			tc.LineRate = n.Cfg.DCQCN.LineRate
+		}
+		return timely.NewRP(tc)
+	case CCNone:
+		return &staticRC{rate: n.Cfg.DCQCN.LineRate}
+	default:
+		return dcqcn.NewRP(n.eng, n.Cfg.DCQCN)
+	}
+}
+
+// NewFlow creates a flow from src to dst. Rate-change notifications can
+// be observed via flow.RP.SetRateListener.
+func (n *Network) NewFlow(src, dst *Node) *Flow {
+	if src.NIC == nil || dst.NIC == nil {
+		panic("netsim: flows connect hosts, not switches")
+	}
+	if src == dst {
+		panic("netsim: flow to self")
+	}
+	f := &Flow{
+		ID:  n.nextF,
+		Src: src, Dst: dst,
+		RP:  n.newRateController(),
+		NP:  dcqcn.NewNP(n.Cfg.DCQCN),
+		nic: src.NIC,
+	}
+	n.nextF++
+	n.flows[f.ID] = f
+	src.NIC.flows = append(src.NIC.flows, f)
+	return f
+}
+
+// Flow returns a flow by ID.
+func (n *Network) Flow(id int) *Flow { return n.flows[id] }
+
+// Send queues a message of size bytes on the flow; payload is delivered
+// with the receiver's OnMessage callback. Returns the message ID.
+func (f *Flow) Send(size int, payload any) uint64 {
+	if size <= 0 {
+		panic(fmt.Sprintf("netsim: message size %d", size))
+	}
+	id := f.nextMsg
+	f.nextMsg++
+	f.sendq = append(f.sendq, &outMsg{id: id, size: size, payload: payload})
+	f.QueuedBytes += int64(size)
+	f.pump()
+	return id
+}
+
+// Backlog returns bytes accepted by Send but not yet paced out to the
+// host port. Together with the port queue (HostNIC.TXQBytes) this is the
+// paper's "TXQ" backlog on targets.
+func (f *Flow) Backlog() int64 { return f.QueuedBytes }
+
+// TXQBytes returns the bytes waiting in this host's port queues — data
+// that DCQCN or PFC is holding back from the wire.
+func (nic *HostNIC) TXQBytes() int64 {
+	var total int64
+	for _, p := range nic.node.ports {
+		total += p.QueueBytes
+	}
+	return total
+}
+
+// pump emits the next MTU chunk of the head message, paced at the RP
+// rate. Exactly one pacing event is in flight per flow.
+func (f *Flow) pump() {
+	if f.pacing || len(f.sendq) == 0 {
+		return
+	}
+	f.pacing = true
+	net := f.Src.net
+	eng := net.eng
+	at := eng.Now()
+	if f.nextFree > at {
+		at = f.nextFree
+	}
+	eng.Schedule(at, func() {
+		msg := f.sendq[0]
+		chunk := msg.size - f.headSent
+		mtu := net.Cfg.MTU
+		last := chunk <= mtu
+		if chunk > mtu {
+			chunk = mtu
+		}
+		pkt := &Packet{
+			Src: f.Src.ID, Dst: f.Dst.ID,
+			FlowID: f.ID, MsgID: msg.id, MsgSize: msg.size,
+			Size: chunk, Kind: Data, Last: last,
+			SentAt: eng.Now(),
+		}
+		if last {
+			pkt.Payload = msg.payload
+			f.sendq[0] = nil
+			f.sendq = f.sendq[1:]
+			f.headSent = 0
+		} else {
+			f.headSent += chunk
+		}
+		f.QueuedBytes -= int64(chunk)
+		f.nic.BytesSent += uint64(chunk)
+
+		if len(f.Src.ports) == 0 {
+			panic(fmt.Sprintf("netsim: host %s has no link", f.Src.Name))
+		}
+		f.Src.ports[0].enqueueData(pkt)
+		f.RP.OnBytesSent(chunk)
+
+		rate := f.RP.Rate()
+		gap := sim.Time(float64(chunk*8) / rate * float64(sim.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		f.nextFree = at + gap
+		f.pacing = false
+		f.pump()
+	})
+}
+
+// sendCtrl routes a control frame toward dst.
+func (nic *HostNIC) sendCtrl(pkt *Packet, dst NodeID) {
+	if len(nic.node.ports) == 0 {
+		return
+	}
+	if nic.node.nextHops != nil && len(nic.node.nextHops[dst]) > 0 {
+		nic.node.pickEgress(pkt).enqueueCtrl(pkt)
+		return
+	}
+	nic.node.ports[0].enqueueCtrl(pkt)
+}
+
+// receive handles data, ack, and CNP packets addressed to this host.
+func (nic *HostNIC) receive(pkt *Packet) {
+	net := nic.node.net
+	switch pkt.Kind {
+	case CNP:
+		nic.CNPsReceived++
+		if f, ok := net.flows[pkt.FlowID]; ok {
+			f.RP.OnCongestionSignal()
+		}
+		return
+	case Ack:
+		if f, ok := net.flows[pkt.FlowID]; ok {
+			f.RP.OnAck(net.eng.Now() - pkt.SentAt)
+		}
+		return
+	case Data:
+		flow := net.flows[pkt.FlowID]
+		if pkt.ECN && flow != nil && flow.NP.OnMarkedPacket(net.eng.Now()) {
+			// Send a CNP back to the sender.
+			net.CNPsSent++
+			cnp := &Packet{
+				Src: nic.node.ID, Dst: pkt.Src,
+				FlowID: pkt.FlowID, Size: net.Cfg.CtrlPacketSize, Kind: CNP,
+			}
+			nic.sendCtrl(cnp, pkt.Src)
+		}
+		if flow != nil && flow.RP.NeedsAck() {
+			// Echo an RTT probe back to the sender.
+			ack := &Packet{
+				Src: nic.node.ID, Dst: pkt.Src,
+				FlowID: pkt.FlowID, Size: net.Cfg.CtrlPacketSize,
+				Kind: Ack, SentAt: pkt.SentAt,
+			}
+			nic.sendCtrl(ack, pkt.Src)
+		}
+		nic.BytesReceived += uint64(pkt.Size)
+		key := recvKey{flow: pkt.FlowID, msg: pkt.MsgID}
+		got := nic.recv[key] + pkt.Size
+		if got < pkt.MsgSize {
+			nic.recv[key] = got
+			return
+		}
+		delete(nic.recv, key)
+		nic.MsgsDelivered++
+		if nic.OnMessage != nil {
+			nic.OnMessage(flow, pkt.MsgID, pkt.MsgSize, pkt.Payload)
+		}
+	default:
+		panic(fmt.Sprintf("netsim: NIC received %v frame", pkt.Kind))
+	}
+}

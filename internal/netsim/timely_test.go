@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"testing"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/timely"
+)
+
+// (CCNone inherits its fixed rate from DCQCN.LineRate, which the cluster
+// layer sets to the host link speed.)
+
+func TestTIMELYFlowDeliversAndAcks(t *testing.T) {
+	eng, net := newTestNet(t, Config{CC: CCTIMELY})
+	hosts := BuildRack(net, 2, 10e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	if _, ok := f.RP.(*timely.RP); !ok {
+		t.Fatalf("flow controller is %T, want *timely.RP", f.RP)
+	}
+	var recv int64
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, size int, _ any) { recv += int64(size) }
+	for i := 0; i < 10; i++ {
+		f.Send(1<<20, nil)
+	}
+	eng.RunUntilIdle()
+	if recv != 10<<20 {
+		t.Fatalf("received %d", recv)
+	}
+	rp := f.RP.(*timely.RP)
+	if rp.Acks == 0 {
+		t.Fatal("no RTT acks delivered to TIMELY")
+	}
+}
+
+func TestTIMELYIncastThrottles(t *testing.T) {
+	// Two TIMELY senders into one receiver: queueing delay rises, the
+	// gradient/Thigh logic must cut rates, and delivery stays lossless.
+	cfg := Config{CC: CCTIMELY, DisableECN: true, Seed: 5}
+	eng, net := newTestNet(t, cfg)
+	hosts := BuildRack(net, 3, 10e9, sim.Microsecond)
+	f0 := net.NewFlow(hosts[0], hosts[2])
+	f1 := net.NewFlow(hosts[1], hosts[2])
+	var recv int64
+	hosts[2].NIC.OnMessage = func(_ *Flow, _ uint64, size int, _ any) { recv += int64(size) }
+	var sent int64
+	for i := 0; i < 100; i++ {
+		f0.Send(1<<20, nil)
+		f1.Send(1<<20, nil)
+		sent += 2 << 20
+	}
+	var drops int
+	f0.RP.SetRateListener(func(old, new float64) {
+		if new < old {
+			drops++
+		}
+	})
+	eng.RunUntilIdle()
+	if recv != sent {
+		t.Fatalf("lost bytes: %d/%d", recv, sent)
+	}
+	if drops == 0 {
+		t.Fatal("TIMELY never cut the rate under incast")
+	}
+	rp0 := f0.RP.(*timely.RP)
+	if rp0.RateDecreases == 0 {
+		t.Fatal("no decreases recorded")
+	}
+}
+
+func TestCCNoneFixedRate(t *testing.T) {
+	cfg := Config{CC: CCNone, Seed: 6}
+	cfg.DCQCN.LineRate = 5e9
+	eng, net := newTestNet(t, cfg)
+	hosts := BuildRack(net, 3, 5e9, sim.Microsecond)
+	f0 := net.NewFlow(hosts[0], hosts[2])
+	f1 := net.NewFlow(hosts[1], hosts[2])
+	for i := 0; i < 20; i++ {
+		f0.Send(1<<20, nil)
+		f1.Send(1<<20, nil)
+	}
+	eng.RunUntilIdle()
+	// No rate control: flows stay at line rate; PFC kept it lossless.
+	if f0.RP.Rate() != 5e9 || f1.RP.Rate() != 5e9 {
+		t.Fatalf("CCNone rates %v/%v, want fixed", f0.RP.Rate(), f1.RP.Rate())
+	}
+	if hosts[2].NIC.BytesReceived != 40<<20 {
+		t.Fatalf("received %d", hosts[2].NIC.BytesReceived)
+	}
+}
+
+func TestCCAlgStrings(t *testing.T) {
+	if CCDCQCN.String() != "DCQCN" || CCTIMELY.String() != "TIMELY" || CCNone.String() != "none" {
+		t.Fatal("CCAlg labels")
+	}
+	if Ack.String() != "ack" {
+		t.Fatal("ack kind label")
+	}
+}

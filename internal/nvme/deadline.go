@@ -1,0 +1,74 @@
+package nvme
+
+import "srcsim/internal/trace"
+
+// Deadline is a block-layer-style read-preferring arbiter in the spirit
+// of Linux's mq-deadline: reads are dispatched ahead of writes (they
+// block applications) until WritesStarved consecutive read batches have
+// bypassed waiting writes, at which point one write batch is dispatched.
+//
+// The paper's future work proposes moving SRC into the block-layer I/O
+// scheduler; Deadline is the conventional scheduler that slot — it makes
+// the read-congestion pathology *worse* (reads hog the device even
+// harder), which is exactly why a congestion-aware policy like SRC is
+// needed. internal/cluster exposes it as an ablation baseline.
+type Deadline struct {
+	// WritesStarved is how many reads may bypass waiting writes before a
+	// write must be dispatched (Linux default: 2).
+	WritesStarved int
+
+	reads, writes fifo
+	starved       int
+
+	// Counters.
+	DispatchedReads, DispatchedWrites uint64
+}
+
+// NewDeadline returns a deadline arbiter with the given starvation bound
+// (<= 0 uses the Linux default of 2).
+func NewDeadline(writesStarved int) *Deadline {
+	if writesStarved <= 0 {
+		writesStarved = 2
+	}
+	return &Deadline{WritesStarved: writesStarved}
+}
+
+// Submit implements Arbiter.
+func (d *Deadline) Submit(c *Command) {
+	if c.Op == trace.Read {
+		d.reads.Push(c)
+	} else {
+		d.writes.Push(c)
+	}
+}
+
+// Fetch implements Arbiter.
+func (d *Deadline) Fetch() *Command {
+	rEmpty, wEmpty := d.reads.Empty(), d.writes.Empty()
+	switch {
+	case rEmpty && wEmpty:
+		return nil
+	case rEmpty:
+		d.starved = 0
+		d.DispatchedWrites++
+		return d.writes.Pop()
+	case wEmpty:
+		d.DispatchedReads++
+		return d.reads.Pop()
+	}
+	// Both waiting: prefer reads until writes have starved long enough.
+	if d.starved >= d.WritesStarved {
+		d.starved = 0
+		d.DispatchedWrites++
+		return d.writes.Pop()
+	}
+	d.starved++
+	d.DispatchedReads++
+	return d.reads.Pop()
+}
+
+// Pending implements Arbiter.
+func (d *Deadline) Pending() int { return d.reads.Len() + d.writes.Len() }
+
+// PendingByOp implements Arbiter.
+func (d *Deadline) PendingByOp() (int, int) { return d.reads.Len(), d.writes.Len() }

@@ -1,0 +1,69 @@
+package nvme
+
+import (
+	"testing"
+
+	"srcsim/internal/trace"
+)
+
+func TestDeadlinePrefersReads(t *testing.T) {
+	d := NewDeadline(2)
+	for i := uint64(0); i < 6; i++ {
+		d.Submit(rcmd(i, i<<20, 4096))
+		d.Submit(wcmd(100+i, (100+i)<<20, 4096))
+	}
+	// Pattern with writes_starved=2: R R W R R W ...
+	want := []trace.Op{trace.Read, trace.Read, trace.Write, trace.Read, trace.Read, trace.Write}
+	for i, op := range want {
+		c := d.Fetch()
+		if c.Op != op {
+			t.Fatalf("dispatch %d: got %v want %v", i, c.Op, op)
+		}
+	}
+	if d.DispatchedReads != 4 || d.DispatchedWrites != 2 {
+		t.Fatalf("counters %d/%d", d.DispatchedReads, d.DispatchedWrites)
+	}
+}
+
+func TestDeadlineDrainsSingleQueue(t *testing.T) {
+	d := NewDeadline(0) // default bound
+	for i := uint64(0); i < 5; i++ {
+		d.Submit(wcmd(i, i<<20, 4096))
+	}
+	for i := 0; i < 5; i++ {
+		if c := d.Fetch(); c == nil || c.Op != trace.Write {
+			t.Fatalf("write-only drain failed at %d", i)
+		}
+	}
+	if d.Fetch() != nil {
+		t.Fatal("empty fetch should be nil")
+	}
+}
+
+func TestDeadlineStarvationBoundResets(t *testing.T) {
+	d := NewDeadline(1)
+	d.Submit(rcmd(1, 1<<20, 4096))
+	d.Submit(rcmd(2, 2<<20, 4096))
+	d.Submit(wcmd(3, 3<<20, 4096))
+	// R (starved=1), then write must go, then remaining read.
+	if d.Fetch().Op != trace.Read {
+		t.Fatal("first should be read")
+	}
+	if d.Fetch().Op != trace.Write {
+		t.Fatal("starved write should dispatch")
+	}
+	if d.Fetch().Op != trace.Read {
+		t.Fatal("remaining read")
+	}
+}
+
+func TestDeadlinePending(t *testing.T) {
+	d := NewDeadline(2)
+	d.Submit(rcmd(1, 0, 4096))
+	d.Submit(wcmd(2, 1<<20, 4096))
+	d.Submit(wcmd(3, 2<<20, 4096))
+	r, w := d.PendingByOp()
+	if r != 1 || w != 2 || d.Pending() != 3 {
+		t.Fatalf("pending %d/%d total %d", r, w, d.Pending())
+	}
+}

@@ -1,0 +1,145 @@
+// Package nvme models the NVMe host-side queueing mechanics the paper
+// manipulates (Sec. III-A): submission queues (SQs), completion queues
+// (CQs), the queue-depth fetch window, and command-fetch arbitration.
+//
+// Two arbiters are provided:
+//
+//   - MultiRR — the default NVMe design of Fig. 4-a: one SQ per CPU,
+//     FIFO within a queue, plain round-robin across queues;
+//   - SSQ — the paper's separate-submission-queue mechanism of Fig. 4-b:
+//     one read SQ and one write SQ sharing a CQ, weighted-round-robin
+//     token arbitration, and an LBA consistency check that pins dependent
+//     requests to the queue of the conflicting in-flight request.
+//
+// The SSD simulator (internal/ssd) consumes an Arbiter; SRC
+// (internal/core) adjusts SSQ weights at run time.
+package nvme
+
+import (
+	"fmt"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// Command is an NVMe command as seen by the device frontend.
+type Command struct {
+	ID        uint64
+	Op        trace.Op
+	LBA       uint64
+	Size      int
+	Submitted sim.Time
+	// UserData carries upper-layer context (e.g. the NVMe-oF request)
+	// through the device untouched.
+	UserData any
+
+	// queueHint is set by the SSQ consistency check: the queue the
+	// command was placed in (may differ from its natural queue).
+	queueHint int
+}
+
+// fifo is a simple slice-backed FIFO with an amortised-O(1) Pop.
+type fifo struct {
+	buf  []*Command
+	head int
+}
+
+func (f *fifo) Len() int        { return len(f.buf) - f.head }
+func (f *fifo) Empty() bool     { return f.Len() == 0 }
+func (f *fifo) Push(c *Command) { f.buf = append(f.buf, c) }
+
+func (f *fifo) Peek() *Command {
+	if f.Empty() {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *fifo) Pop() *Command {
+	if f.Empty() {
+		return nil
+	}
+	c := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		f.buf = append(f.buf[:0], f.buf[f.head:]...)
+		f.head = 0
+	}
+	return c
+}
+
+// Arbiter is a command source for the SSD frontend: commands are
+// submitted by the NVMe-oF target driver and fetched by the device
+// whenever a queue-depth slot frees up.
+type Arbiter interface {
+	// Submit enqueues a command.
+	Submit(c *Command)
+	// Fetch removes and returns the next command per the arbitration
+	// policy, or nil if no command is waiting.
+	Fetch() *Command
+	// Pending returns the number of waiting commands.
+	Pending() int
+	// PendingByOp returns waiting reads and writes separately.
+	PendingByOp() (reads, writes int)
+}
+
+// MultiRR is the baseline multi-queue design (Fig. 4-a): numQueues SQs,
+// submit spreads commands round-robin (standing in for per-CPU queues),
+// fetch round-robins across non-empty queues.
+type MultiRR struct {
+	queues    []fifo
+	submitIdx int
+	fetchIdx  int
+	pending   int
+	pendingR  int
+	pendingW  int
+}
+
+// NewMultiRR builds a baseline arbiter with numQueues submission queues.
+func NewMultiRR(numQueues int) *MultiRR {
+	if numQueues <= 0 {
+		panic(fmt.Sprintf("nvme: MultiRR needs >= 1 queue, got %d", numQueues))
+	}
+	return &MultiRR{queues: make([]fifo, numQueues)}
+}
+
+// Submit implements Arbiter.
+func (m *MultiRR) Submit(c *Command) {
+	m.queues[m.submitIdx].Push(c)
+	m.submitIdx = (m.submitIdx + 1) % len(m.queues)
+	m.pending++
+	if c.Op == trace.Read {
+		m.pendingR++
+	} else {
+		m.pendingW++
+	}
+}
+
+// Fetch implements Arbiter.
+func (m *MultiRR) Fetch() *Command {
+	if m.pending == 0 {
+		return nil
+	}
+	for i := 0; i < len(m.queues); i++ {
+		q := &m.queues[m.fetchIdx]
+		m.fetchIdx = (m.fetchIdx + 1) % len(m.queues)
+		if !q.Empty() {
+			c := q.Pop()
+			m.pending--
+			if c.Op == trace.Read {
+				m.pendingR--
+			} else {
+				m.pendingW--
+			}
+			return c
+		}
+	}
+	return nil
+}
+
+// Pending implements Arbiter.
+func (m *MultiRR) Pending() int { return m.pending }
+
+// PendingByOp implements Arbiter.
+func (m *MultiRR) PendingByOp() (int, int) { return m.pendingR, m.pendingW }

@@ -1,0 +1,157 @@
+package nvme
+
+import (
+	"testing"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+func TestPacedUnlimitedPassesReads(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPaced(eng, 0)
+	for i := uint64(0); i < 5; i++ {
+		p.Submit(rcmd(i, i<<20, 16<<10))
+	}
+	for i := 0; i < 5; i++ {
+		if c := p.Fetch(); c == nil || c.Op != trace.Read {
+			t.Fatalf("fetch %d with unlimited budget failed", i)
+		}
+	}
+	if p.Fetch() != nil {
+		t.Fatal("empty fetch")
+	}
+}
+
+func TestPacedWritesBypassBucket(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPaced(eng, 4096)
+	p.SetReadRate(1) // effectively zero read budget
+	p.Submit(rcmd(1, 0, 1<<20))
+	p.Submit(wcmd(2, 1<<20, 16<<10))
+	c := p.Fetch()
+	if c == nil || c.Op != trace.Write {
+		t.Fatalf("write should bypass the read bucket, got %+v", c)
+	}
+	if p.Fetch() != nil {
+		t.Fatal("starved read escaped the bucket")
+	}
+	if p.ReadStalls == 0 {
+		t.Fatal("read stall not counted")
+	}
+}
+
+func TestPacedRateEnforced(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPaced(eng, 32<<10)
+	const rate = 1e9 // 1 Gbps
+	p.SetReadRate(rate)
+
+	dispatched := 0
+	kick := func() {
+		for {
+			c := p.Fetch()
+			if c == nil {
+				return
+			}
+			dispatched++
+		}
+	}
+	p.Kicker = kick
+	for i := uint64(0); i < 100; i++ {
+		p.Submit(rcmd(i, i<<20, 32<<10)) // 32 KiB = 262144 bits each
+	}
+	kick()
+	eng.Run(100 * sim.Millisecond)
+	// 1 Gbps x 100ms = 1e8 bits = ~381 commands worth; we only have 100,
+	// but at 26.2ms they should all have dispatched; at 10ms only ~38.
+	if dispatched != 100 {
+		t.Fatalf("dispatched %d/100 within 100ms at 1Gbps", dispatched)
+	}
+
+	// Re-run tighter: fresh arbiter, 10ms window.
+	eng2 := sim.NewEngine()
+	p2 := NewPaced(eng2, 32<<10)
+	p2.SetReadRate(rate)
+	n2 := 0
+	p2.Kicker = func() {
+		for {
+			if c := p2.Fetch(); c == nil {
+				return
+			}
+			n2++
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		p2.Submit(rcmd(i, i<<20, 32<<10))
+	}
+	p2.Kicker()
+	eng2.Run(10 * sim.Millisecond)
+	// 10ms at 1Gbps = 1e7 bits = ~38 commands (+1 burst allowance).
+	if n2 < 30 || n2 > 50 {
+		t.Fatalf("dispatched %d in 10ms at 1Gbps, want ~38", n2)
+	}
+}
+
+func TestPacedRateChangeTakesEffect(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPaced(eng, 16<<10)
+	p.SetReadRate(1e6) // trickle
+	served := 0
+	p.Kicker = func() {
+		for {
+			if c := p.Fetch(); c == nil {
+				return
+			}
+			served++
+		}
+	}
+	for i := uint64(0); i < 20; i++ {
+		p.Submit(rcmd(i, i<<20, 16<<10))
+	}
+	p.Kicker()
+	eng.Run(sim.Millisecond)
+	if served > 2 {
+		t.Fatalf("trickle budget served %d", served)
+	}
+	p.SetReadRate(0) // unlimited
+	p.Kicker()
+	eng.Run(2 * sim.Millisecond)
+	if served != 20 {
+		t.Fatalf("after unthrottle served %d/20", served)
+	}
+}
+
+func TestPacedConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPaced(eng, 64<<10)
+	p.SetReadRate(5e9)
+	got := map[uint64]bool{}
+	p.Kicker = func() {
+		for {
+			c := p.Fetch()
+			if c == nil {
+				return
+			}
+			if got[c.ID] {
+				t.Fatalf("duplicate %d", c.ID)
+			}
+			got[c.ID] = true
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		if i%3 == 0 {
+			p.Submit(wcmd(i, i<<20, 8<<10))
+		} else {
+			p.Submit(rcmd(i, i<<20, 8<<10))
+		}
+	}
+	p.Kicker()
+	eng.RunUntilIdle()
+	if len(got) != 200 {
+		t.Fatalf("served %d/200", len(got))
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending %d", p.Pending())
+	}
+}

@@ -1,0 +1,159 @@
+package nvme
+
+import (
+	"testing"
+
+	"srcsim/internal/trace"
+)
+
+// classifySize buckets: 0 = small reads, 1 = large reads, 2 = writes;
+// urgent (-1) for 512B reads.
+func classifySize(c *Command) int {
+	if c.Op == trace.Write {
+		return 2
+	}
+	if c.Size <= 512 {
+		return -1
+	}
+	if c.Size <= 8192 {
+		return 0
+	}
+	return 1
+}
+
+func TestWRRNValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no classes":  func() { NewWRRN(nil, classifySize) },
+		"zero weight": func() { NewWRRN([]int{1, 0}, classifySize) },
+		"nil classes": func() { NewWRRN([]int{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWRRNUrgentStrictPriority(t *testing.T) {
+	a := NewWRRN([]int{1, 1, 1}, classifySize)
+	a.Submit(&Command{ID: 1, Op: trace.Read, Size: 4096})
+	a.Submit(&Command{ID: 2, Op: trace.Write, Size: 4096, LBA: 1 << 20})
+	a.Submit(&Command{ID: 3, Op: trace.Read, Size: 512, LBA: 2 << 20}) // urgent
+	if c := a.Fetch(); c.ID != 3 {
+		t.Fatalf("urgent not served first: got %d", c.ID)
+	}
+	if a.FetchedUrgent != 1 {
+		t.Fatalf("urgent counter %d", a.FetchedUrgent)
+	}
+}
+
+func TestWRRNWeightRatios(t *testing.T) {
+	a := NewWRRN([]int{1, 2, 4}, classifySize)
+	// Deep backlog in all three weighted classes.
+	for i := uint64(0); i < 400; i++ {
+		a.Submit(&Command{ID: i, Op: trace.Read, Size: 4096, LBA: i << 20})            // class 0
+		a.Submit(&Command{ID: 1000 + i, Op: trace.Read, Size: 64 << 10, LBA: i << 21}) // class 1
+		a.Submit(&Command{ID: 2000 + i, Op: trace.Write, Size: 4096, LBA: i << 22})    // class 2
+	}
+	for i := 0; i < 700; i++ {
+		if a.Fetch() == nil {
+			t.Fatal("premature nil fetch")
+		}
+	}
+	r0 := float64(a.Fetched[1]) / float64(a.Fetched[0])
+	r1 := float64(a.Fetched[2]) / float64(a.Fetched[0])
+	if r0 < 1.7 || r0 > 2.3 {
+		t.Fatalf("class1/class0 ratio %.2f, want ~2", r0)
+	}
+	if r1 < 3.5 || r1 > 4.5 {
+		t.Fatalf("class2/class0 ratio %.2f, want ~4", r1)
+	}
+}
+
+func TestWRRNEmptyClassSkipped(t *testing.T) {
+	a := NewWRRN([]int{1, 8}, func(c *Command) int {
+		if c.Op == trace.Write {
+			return 1
+		}
+		return 0
+	})
+	// Only class 0 (reads) present: every fetch must serve it even
+	// though class 1 holds most tokens.
+	for i := uint64(0); i < 10; i++ {
+		a.Submit(&Command{ID: i, Op: trace.Read, Size: 4096, LBA: i << 20})
+	}
+	for i := 0; i < 10; i++ {
+		if c := a.Fetch(); c == nil || c.Op != trace.Read {
+			t.Fatalf("fetch %d failed on single-class backlog", i)
+		}
+	}
+	if a.Fetch() != nil {
+		t.Fatal("empty arbiter returned a command")
+	}
+}
+
+func TestWRRNSetWeights(t *testing.T) {
+	a := NewWRRN([]int{1, 1}, func(c *Command) int {
+		if c.Op == trace.Write {
+			return 1
+		}
+		return 0
+	})
+	for i := uint64(0); i < 300; i++ {
+		a.Submit(&Command{ID: i, Op: trace.Read, Size: 4096, LBA: i << 20})
+		a.Submit(&Command{ID: 1000 + i, Op: trace.Write, Size: 4096, LBA: i << 21})
+	}
+	a.SetWeights([]int{1, 5})
+	for i := 0; i < 300; i++ {
+		a.Fetch()
+	}
+	ratio := float64(a.Fetched[1]) / float64(a.Fetched[0])
+	if ratio < 4.2 || ratio > 5.8 {
+		t.Fatalf("post-SetWeights ratio %.2f, want ~5", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong weight count should panic")
+		}
+	}()
+	a.SetWeights([]int{1})
+}
+
+func TestWRRNConservation(t *testing.T) {
+	a := NewWRRN([]int{3, 2}, func(c *Command) int { return int(c.ID % 2) })
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		a.Submit(&Command{ID: i, Op: trace.Read, Size: 4096, LBA: i << 14})
+	}
+	if a.Pending() != n {
+		t.Fatalf("pending %d", a.Pending())
+	}
+	seen := map[uint64]bool{}
+	for c := a.Fetch(); c != nil; c = a.Fetch() {
+		if seen[c.ID] {
+			t.Fatalf("duplicate %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("lost commands: %d/%d", len(seen), n)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("pending %d after drain", a.Pending())
+	}
+}
+
+func TestWRRNPendingByOp(t *testing.T) {
+	a := NewWRRN([]int{1, 1, 1}, classifySize)
+	a.Submit(&Command{ID: 1, Op: trace.Read, Size: 4096})
+	a.Submit(&Command{ID: 2, Op: trace.Read, Size: 512, LBA: 1 << 20})
+	a.Submit(&Command{ID: 3, Op: trace.Write, Size: 4096, LBA: 2 << 20})
+	r, w := a.PendingByOp()
+	if r != 2 || w != 1 {
+		t.Fatalf("pending by op %d/%d", r, w)
+	}
+}

@@ -1,0 +1,128 @@
+package nvmeof
+
+import (
+	"testing"
+
+	"srcsim/internal/netsim"
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+	"srcsim/internal/trace"
+)
+
+// newCappedRig builds a 1:1 rig with an explicit TXQ cap.
+func newCappedRig(t testing.TB, linkRate float64, cfg ssd.Config, txqCap int64) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, netsim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := netsim.BuildRack(net, 2, linkRate, sim.Microsecond)
+	arb := nvme.NewSSQ(1, 1)
+	dev, err := ssd.New(eng, cfg, arb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTarget(net, hosts[1], []Unit{{Dev: dev, Arb: arb}}, txqCap)
+	ini := NewInitiator(net, eng, hosts[0])
+	return &rig{eng: eng, net: net, ini: ini, tgt: tgt, dev: dev, arb: arb}
+}
+
+func TestTXQCreditConsumedAndRestored(t *testing.T) {
+	r := newCappedRig(t, 40e9, ssd.ConfigB(), 256<<10)
+	if r.tgt.TXQCredit() != 256<<10 {
+		t.Fatalf("initial credit %d", r.tgt.TXQCredit())
+	}
+	done := 0
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { done++ }
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 64 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+	if done != 1 {
+		t.Fatalf("completions %d", done)
+	}
+	// Credit fully restored after delivery.
+	if r.tgt.TXQCredit() != 256<<10 {
+		t.Fatalf("credit %d after idle, want full restore", r.tgt.TXQCredit())
+	}
+}
+
+func TestTXQCreditStallsDeviceUnderSlowLink(t *testing.T) {
+	// A 1 Gbps link drains the 256 KiB TXQ slowly; the fast SSD-B must
+	// park completions rather than buffering unbounded read data.
+	r := newCappedRig(t, 1e9, ssd.ConfigB(), 256<<10)
+	for i := uint64(0); i < 200; i++ {
+		r.ini.Submit(trace.Request{ID: i, Op: trace.Read, LBA: i << 18, Size: 32 << 10}, r.tgt.Node)
+	}
+	// Let the pipeline fill.
+	r.eng.Run(20 * sim.Millisecond)
+	if r.dev.PeakParked == 0 {
+		t.Fatal("device never parked completions behind the TXQ cap")
+	}
+	// In-flight read data must stay near the cap, not grow with the
+	// backlog: flow backlog + consumed credit <= cap + one request.
+	inflight := (256 << 10) - r.tgt.TXQCredit()
+	if inflight > 256<<10+32<<10 {
+		t.Fatalf("in-flight read data %d exceeds cap", inflight)
+	}
+	r.eng.RunUntilIdle()
+	if r.ini.ReadsCompleted != 200 {
+		t.Fatalf("reads completed %d", r.ini.ReadsCompleted)
+	}
+	if r.tgt.TXQCredit() != 256<<10 {
+		t.Fatalf("credit leak: %d", r.tgt.TXQCredit())
+	}
+}
+
+func TestOversizedRequestDoesNotWedge(t *testing.T) {
+	// A read larger than the whole TXQ cap must still complete (the
+	// full-credit escape hatch).
+	r := newCappedRig(t, 40e9, ssd.ConfigA(), 64<<10)
+	done := 0
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { done++ }
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 256 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+	if done != 1 {
+		t.Fatal("oversized read wedged the pipeline")
+	}
+	if r.tgt.TXQCredit() != 64<<10 {
+		t.Fatalf("credit %d after oversized request", r.tgt.TXQCredit())
+	}
+}
+
+func TestNegativeCapDisablesBackpressure(t *testing.T) {
+	r := newCappedRig(t, 1e9, ssd.ConfigB(), -1)
+	for i := uint64(0); i < 100; i++ {
+		r.ini.Submit(trace.Request{ID: i, Op: trace.Read, LBA: i << 18, Size: 32 << 10}, r.tgt.Node)
+	}
+	r.eng.RunUntilIdle()
+	if r.dev.PeakParked != 0 {
+		t.Fatalf("parked %d with backpressure disabled", r.dev.PeakParked)
+	}
+	if r.ini.ReadsCompleted != 100 {
+		t.Fatalf("completed %d", r.ini.ReadsCompleted)
+	}
+}
+
+func TestWritesFlowWhileReadsParked(t *testing.T) {
+	// With SRC's premise: when reads are parked on TXQ credit, newly
+	// arriving writes still complete once the parked reads ahead of them
+	// drain — but a pure-write stream on a separate device never parks.
+	r := newCappedRig(t, 1e9, ssd.ConfigB(), 128<<10)
+	writesDone := 0
+	r.ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
+		if !readData {
+			writesDone++
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		r.ini.Submit(trace.Request{ID: i, Op: trace.Write, LBA: i << 18, Size: 16 << 10}, r.tgt.Node)
+	}
+	r.eng.RunUntilIdle()
+	if writesDone != 50 {
+		t.Fatalf("writes %d", writesDone)
+	}
+	if r.dev.PeakParked != 0 {
+		t.Fatal("pure-write stream should never park")
+	}
+}

@@ -1,0 +1,329 @@
+// Package nvmeof binds the network simulator to the SSD simulator as
+// NVMe-over-RDMA: Initiators submit NVMe commands over fabric flows to
+// Targets, Targets feed their device through an nvme.Arbiter and return
+// read data (inbound flows) or write acknowledgements, mirroring Fig. 1
+// of the paper.
+//
+// Flow layout per (initiator, target) pair — separate queue pairs keep
+// small capsules from head-of-line blocking behind bulk data, as in real
+// NVMe-oF:
+//
+//	initiator → target:  command flow (read capsules),
+//	                     write flow   (write capsules + payload)
+//	target → initiator:  data flow    (read payload)  ← DCQCN throttles this
+//	                     ack flow     (write completions)
+//
+// The data flow's DCQCN reaction point is the paper's congestion-signal
+// source: SRC subscribes to its rate changes via Target.OnReadRate.
+package nvmeof
+
+import (
+	"fmt"
+
+	"srcsim/internal/netsim"
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+	"srcsim/internal/trace"
+)
+
+// CommandSize is the wire size of an NVMe-oF capsule (bytes).
+const CommandSize = 64
+
+// wireReq is the payload carried with a command to the target.
+type wireReq struct {
+	Req  trace.Request
+	From netsim.NodeID
+}
+
+// wireResp is the payload carried back to the initiator.
+type wireResp struct {
+	Req      trace.Request
+	ReadData bool
+	// ack returns TXQ credit to the target once the data is delivered
+	// (the RDMA-level acknowledgement, collapsed in-process).
+	ack func()
+}
+
+// Unit is one SSD instance of a target's flash array: a device plus the
+// arbiter feeding it (the baseline MultiRR or the paper's SSQ).
+type Unit struct {
+	Dev *ssd.Device
+	Arb nvme.Arbiter
+}
+
+// Target is a storage node: a host NIC plus a flash array of one or more
+// SSD instances (the paper launches multiple MQSim instances per target).
+// Requests are striped across units by LBA so same-address requests
+// always meet the same device.
+type Target struct {
+	Node  *netsim.Node
+	Units []Unit
+
+	// OnReadRate, if set, observes DCQCN rate changes (bits/s) on any of
+	// this target's read-data flows — the pause/retrieval events SRC
+	// consumes. The flow whose rate changed is passed along.
+	OnReadRate func(flow *netsim.Flow, oldBps, newBps float64)
+
+	// OnCommandArrive, if set, sees every command as it is submitted to
+	// the arbiter (the SRC workload monitor hooks this).
+	OnCommandArrive func(req trace.Request, at sim.Time)
+
+	// OnWriteComplete, if set, fires when the device finishes a write
+	// (the paper measures write throughput at targets).
+	OnWriteComplete func(req trace.Request, at sim.Time)
+
+	net       *netsim.Network
+	dataFlows map[netsim.NodeID]*netsim.Flow
+	ackFlows  map[netsim.NodeID]*netsim.Flow
+
+	// TXQ credit accounting (see TXQCap): read data handed to the fabric
+	// consumes credit; delivery returns it. When credit runs out, device
+	// completions park in the shared CQ and the devices stall — the
+	// paper's Sec. II-B degradation mechanism.
+	txqCap    int64
+	txqCredit int64
+
+	// Counters.
+	ReadsServed, WritesServed uint64
+}
+
+// DefaultTXQCap bounds in-flight read data per target (bytes).
+const DefaultTXQCap = 1 << 20
+
+// unitStripe is the LBA striping granularity across array units.
+const unitStripe = 1 << 20
+
+// NewTarget wires a target over the given flash-array units: incoming
+// capsules are submitted to the owning unit's arbiter, and device
+// completions are returned over the fabric. NewTarget takes over each
+// device's OnComplete callback and completion Gate; use the Target hooks
+// for instrumentation. txqCap bounds in-flight read data (bytes; 0 uses
+// DefaultTXQCap, negative disables the backpressure model).
+func NewTarget(net *netsim.Network, node *netsim.Node, units []Unit, txqCap int64) *Target {
+	if len(units) == 0 {
+		panic("nvmeof: target needs at least one unit")
+	}
+	if txqCap == 0 {
+		txqCap = DefaultTXQCap
+	}
+	t := &Target{
+		Node: node, Units: units, net: net,
+		dataFlows: make(map[netsim.NodeID]*netsim.Flow),
+		ackFlows:  make(map[netsim.NodeID]*netsim.Flow),
+		txqCap:    txqCap, txqCredit: txqCap,
+	}
+	node.NIC.OnMessage = t.onMessage
+	for _, u := range units {
+		u.Dev.OnComplete = t.onDeviceComplete
+		if txqCap > 0 {
+			u.Dev.Gate = (*txqGate)(t)
+		}
+	}
+	return t
+}
+
+// txqGate implements ssd.Gate over the target's TXQ credit: reads need
+// credit for their payload; writes pass freely (their completions are
+// tiny) but still honour CQ FIFO order via the device's parked queue.
+type txqGate Target
+
+// Admit implements ssd.Gate.
+func (g *txqGate) Admit(c *nvme.Command) bool {
+	t := (*Target)(g)
+	if c.Op != trace.Read {
+		return true
+	}
+	need := int64(c.Size)
+	if t.txqCredit >= need || t.txqCredit == t.txqCap {
+		// The second clause prevents a request larger than the whole
+		// cap from wedging the pipeline.
+		t.txqCredit -= need
+		return true
+	}
+	return false
+}
+
+// returnCredit releases TXQ credit and unblocks parked completions.
+func (t *Target) returnCredit(n int64) {
+	t.txqCredit += n
+	if t.txqCredit > t.txqCap {
+		t.txqCredit = t.txqCap
+	}
+	for _, u := range t.Units {
+		u.Dev.ReleaseParked()
+	}
+}
+
+// TXQCredit returns the remaining in-flight read-data budget.
+func (t *Target) TXQCredit() int64 { return t.txqCredit }
+
+// unitOf routes an LBA to its array unit.
+func (t *Target) unitOf(lba uint64) Unit {
+	return t.Units[(lba/unitStripe)%uint64(len(t.Units))]
+}
+
+func (t *Target) eng() *sim.Engine { return t.Units[0].Dev.Engine() }
+
+func (t *Target) onMessage(_ *netsim.Flow, _ uint64, _ int, payload any) {
+	wr, ok := payload.(wireReq)
+	if !ok {
+		panic(fmt.Sprintf("nvmeof: target %s received unexpected payload %T", t.Node.Name, payload))
+	}
+	now := t.eng().Now()
+	if t.OnCommandArrive != nil {
+		t.OnCommandArrive(wr.Req, now)
+	}
+	u := t.unitOf(wr.Req.LBA)
+	u.Arb.Submit(&nvme.Command{
+		ID:        wr.Req.ID,
+		Op:        wr.Req.Op,
+		LBA:       wr.Req.LBA,
+		Size:      wr.Req.Size,
+		Submitted: now,
+		UserData:  wr,
+	})
+	u.Dev.Kick()
+}
+
+func (t *Target) onDeviceComplete(c *nvme.Command) {
+	wr := c.UserData.(wireReq)
+	now := t.eng().Now()
+	if c.Op == trace.Read {
+		t.ReadsServed++
+		data := t.flowTo(t.dataFlows, wr.From, true)
+		resp := wireResp{Req: wr.Req, ReadData: true}
+		if t.txqCap > 0 {
+			size := int64(c.Size)
+			resp.ack = func() { t.returnCredit(size) }
+		}
+		data.Send(c.Size+CommandSize, resp)
+		return
+	}
+	t.WritesServed++
+	if t.OnWriteComplete != nil {
+		t.OnWriteComplete(wr.Req, now)
+	}
+	ack := t.flowTo(t.ackFlows, wr.From, false)
+	ack.Send(CommandSize, wireResp{Req: wr.Req})
+}
+
+// flowTo lazily creates the per-initiator return flow, attaching the
+// DCQCN rate listener to data flows.
+func (t *Target) flowTo(m map[netsim.NodeID]*netsim.Flow, dst netsim.NodeID, isData bool) *netsim.Flow {
+	if f, ok := m[dst]; ok {
+		return f
+	}
+	f := t.net.NewFlow(t.Node, t.net.Node(dst))
+	m[dst] = f
+	if isData {
+		f.RP.SetRateListener(func(old, new float64) {
+			if t.OnReadRate != nil {
+				t.OnReadRate(f, old, new)
+			}
+		})
+	}
+	return f
+}
+
+// DataFlows returns the read-data flows created so far.
+func (t *Target) DataFlows() []*netsim.Flow {
+	out := make([]*netsim.Flow, 0, len(t.dataFlows))
+	for _, f := range t.dataFlows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// ReadSendRate returns the sum of DCQCN rates (bits/s) across the
+// target's read-data flows: the fabric's current demanded data sending
+// rate for this target.
+func (t *Target) ReadSendRate() float64 {
+	var sum float64
+	for _, f := range t.dataFlows {
+		sum += f.RP.Rate()
+	}
+	return sum
+}
+
+// TXQBacklog returns bytes of read data held back by congestion control
+// (flow queues plus the port queue) — the wasted SSD work under
+// DCQCN-only.
+func (t *Target) TXQBacklog() int64 {
+	var total int64
+	for _, f := range t.dataFlows {
+		total += f.Backlog()
+	}
+	return total + t.Node.NIC.TXQBytes()
+}
+
+// Initiator is a compute node submitting I/O to targets.
+type Initiator struct {
+	Node *netsim.Node
+
+	// OnComplete fires when a request finishes (read data fully
+	// received, or write ack received).
+	OnComplete func(req trace.Request, readData bool, at sim.Time)
+
+	net        *netsim.Network
+	eng        *sim.Engine
+	cmdFlows   map[netsim.NodeID]*netsim.Flow
+	writeFlows map[netsim.NodeID]*netsim.Flow
+
+	// Counters.
+	ReadBytesReceived int64
+	ReadsCompleted    uint64
+	WritesCompleted   uint64
+	Submitted         uint64
+}
+
+// NewInitiator wires an initiator on the given host node.
+func NewInitiator(net *netsim.Network, eng *sim.Engine, node *netsim.Node) *Initiator {
+	ini := &Initiator{
+		Node: node, net: net, eng: eng,
+		cmdFlows:   make(map[netsim.NodeID]*netsim.Flow),
+		writeFlows: make(map[netsim.NodeID]*netsim.Flow),
+	}
+	node.NIC.OnMessage = ini.onMessage
+	return ini
+}
+
+// Submit sends one request to the target node. Reads travel as small
+// capsules; writes carry their payload.
+func (ini *Initiator) Submit(req trace.Request, target *netsim.Node) {
+	ini.Submitted++
+	wr := wireReq{Req: req, From: ini.Node.ID}
+	if req.Op == trace.Read {
+		ini.flowTo(ini.cmdFlows, target.ID).Send(CommandSize, wr)
+		return
+	}
+	ini.flowTo(ini.writeFlows, target.ID).Send(CommandSize+req.Size, wr)
+}
+
+func (ini *Initiator) flowTo(m map[netsim.NodeID]*netsim.Flow, dst netsim.NodeID) *netsim.Flow {
+	if f, ok := m[dst]; ok {
+		return f
+	}
+	f := ini.net.NewFlow(ini.Node, ini.net.Node(dst))
+	m[dst] = f
+	return f
+}
+
+func (ini *Initiator) onMessage(_ *netsim.Flow, _ uint64, size int, payload any) {
+	resp, ok := payload.(wireResp)
+	if !ok {
+		panic(fmt.Sprintf("nvmeof: initiator %s received unexpected payload %T", ini.Node.Name, payload))
+	}
+	if resp.ReadData {
+		ini.ReadsCompleted++
+		ini.ReadBytesReceived += int64(resp.Req.Size)
+	} else {
+		ini.WritesCompleted++
+	}
+	if ini.OnComplete != nil {
+		ini.OnComplete(resp.Req, resp.ReadData, ini.eng.Now())
+	}
+	if resp.ack != nil {
+		resp.ack()
+	}
+}

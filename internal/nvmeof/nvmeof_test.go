@@ -1,0 +1,246 @@
+package nvmeof
+
+import (
+	"testing"
+
+	"srcsim/internal/dcqcn"
+	"srcsim/internal/netsim"
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+	"srcsim/internal/trace"
+)
+
+// rig is a 1-initiator / 1-target fabric over a rack.
+type rig struct {
+	eng *sim.Engine
+	net *netsim.Network
+	ini *Initiator
+	tgt *Target
+	dev *ssd.Device
+	arb *nvme.SSQ
+}
+
+func newRig(t testing.TB, linkRate float64, cfg ssd.Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, netsim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := netsim.BuildRack(net, 2, linkRate, sim.Microsecond)
+	arb := nvme.NewSSQ(1, 1)
+	dev, err := ssd.New(eng, cfg, arb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTarget(net, hosts[1], []Unit{{Dev: dev, Arb: arb}}, 0)
+	ini := NewInitiator(net, eng, hosts[0])
+	return &rig{eng: eng, net: net, ini: ini, tgt: tgt, dev: dev, arb: arb}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	var completed []trace.Request
+	var wasData bool
+	r.ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
+		completed = append(completed, req)
+		wasData = readData
+	}
+	req := trace.Request{ID: 1, Op: trace.Read, LBA: 4096, Size: 16 << 10}
+	r.ini.Submit(req, r.tgt.Node)
+	r.eng.RunUntilIdle()
+	if len(completed) != 1 || completed[0].ID != 1 || !wasData {
+		t.Fatalf("read completion wrong: %+v data=%v", completed, wasData)
+	}
+	if r.ini.ReadBytesReceived != 16<<10 {
+		t.Fatalf("read bytes %d", r.ini.ReadBytesReceived)
+	}
+	if r.tgt.ReadsServed != 1 {
+		t.Fatalf("target reads served %d", r.tgt.ReadsServed)
+	}
+	// End-to-end latency: command capsule + device (~190us) + data
+	// return; the clock should be in the hundreds of microseconds.
+	if r.eng.Now() > sim.Millisecond {
+		t.Fatalf("read RTT %v too large", r.eng.Now())
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	var acked int
+	r.ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
+		if readData {
+			t.Error("write completion flagged as read data")
+		}
+		acked++
+	}
+	var deviceWrites int
+	r.tgt.OnWriteComplete = func(req trace.Request, at sim.Time) { deviceWrites++ }
+	r.ini.Submit(trace.Request{ID: 2, Op: trace.Write, LBA: 0, Size: 23 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+	if acked != 1 || deviceWrites != 1 {
+		t.Fatalf("acked=%d deviceWrites=%d", acked, deviceWrites)
+	}
+	if r.tgt.WritesServed != 1 {
+		t.Fatalf("writes served %d", r.tgt.WritesServed)
+	}
+}
+
+func TestCommandArriveHookSeesWorkload(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	var seen []trace.Request
+	r.tgt.OnCommandArrive = func(req trace.Request, at sim.Time) { seen = append(seen, req) }
+	for i := uint64(0); i < 10; i++ {
+		op := trace.Read
+		if i%2 == 0 {
+			op = trace.Write
+		}
+		r.ini.Submit(trace.Request{ID: i, Op: op, LBA: i << 20, Size: 8192}, r.tgt.Node)
+	}
+	r.eng.RunUntilIdle()
+	if len(seen) != 10 {
+		t.Fatalf("monitor hook saw %d/10 commands", len(seen))
+	}
+}
+
+func TestManyRequestsAllComplete(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigB())
+	done := 0
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { done++ }
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		r.ini.Submit(trace.Request{ID: i, Op: op, LBA: i << 18, Size: 16 << 10}, r.tgt.Node)
+	}
+	r.eng.RunUntilIdle()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+	if r.ini.Submitted != n {
+		t.Fatalf("submitted %d", r.ini.Submitted)
+	}
+}
+
+func TestReadRateListenerFiresUnderIncast(t *testing.T) {
+	// The paper's congestion scenario: two targets stream read data into
+	// one initiator's downlink; ECN -> CNP -> DCQCN cuts the targets'
+	// data-flow rates (pause events), then recovers (retrieval events).
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, netsim.Config{
+		Seed:  11,
+		DCQCN: dcqcn.Config{LineRate: 5e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := netsim.BuildRack(net, 3, 5e9, sim.Microsecond)
+	ini := NewInitiator(net, eng, hosts[0])
+	var pauseEvents, retrievalEvents int
+	var cnps uint64
+	for h := 1; h <= 2; h++ {
+		arb := nvme.NewSSQ(1, 1)
+		dev, err := ssd.New(eng, ssd.ConfigB(), arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt := NewTarget(net, hosts[h], []Unit{{Dev: dev, Arb: arb}}, 0)
+		tgt.OnReadRate = func(f *netsim.Flow, old, new float64) {
+			if new < old {
+				pauseEvents++
+			} else {
+				retrievalEvents++
+			}
+		}
+		for i := uint64(0); i < 1500; i++ {
+			ini.Submit(trace.Request{ID: uint64(h)<<32 | i, Op: trace.Read, LBA: i << 18, Size: 32 << 10}, tgt.Node)
+		}
+		defer func(tg *Target) { cnps += tg.Node.NIC.CNPsReceived }(tgt)
+	}
+	eng.RunUntilIdle()
+	if pauseEvents == 0 {
+		t.Fatal("no pause (rate-down) events under incast")
+	}
+	if retrievalEvents == 0 {
+		t.Fatal("no retrieval (rate-up) events after congestion")
+	}
+}
+
+func TestReadSendRateAggregates(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	if r.tgt.ReadSendRate() != 0 {
+		t.Fatal("no data flows yet")
+	}
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 4096}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+	if len(r.tgt.DataFlows()) != 1 {
+		t.Fatalf("data flows %d", len(r.tgt.DataFlows()))
+	}
+	if r.tgt.ReadSendRate() != 40e9 {
+		t.Fatalf("read send rate %v, want line rate", r.tgt.ReadSendRate())
+	}
+}
+
+func TestTXQBacklogVisibleDuringThrottle(t *testing.T) {
+	r := newRig(t, 2e9, ssd.ConfigB())
+	maxBacklog := int64(0)
+	stop := r.eng.Ticker(sim.Millisecond, func() {
+		if b := r.tgt.TXQBacklog(); b > maxBacklog {
+			maxBacklog = b
+		}
+	})
+	for i := uint64(0); i < 1000; i++ {
+		r.ini.Submit(trace.Request{ID: i, Op: trace.Read, LBA: i << 18, Size: 32 << 10}, r.tgt.Node)
+	}
+	r.eng.Run(200 * sim.Millisecond)
+	stop()
+	r.eng.RunUntilIdle()
+	if maxBacklog == 0 {
+		t.Fatal("throttled reads never accumulated TXQ backlog")
+	}
+}
+
+func TestTwoInitiatorsOneTarget(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, netsim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := netsim.BuildRack(net, 3, 40e9, sim.Microsecond)
+	arb := nvme.NewSSQ(1, 1)
+	dev, err := ssd.New(eng, ssd.ConfigA(), arb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTarget(net, hosts[2], []Unit{{Dev: dev, Arb: arb}}, 0)
+	ini0 := NewInitiator(net, eng, hosts[0])
+	ini1 := NewInitiator(net, eng, hosts[1])
+	done0, done1 := 0, 0
+	ini0.OnComplete = func(trace.Request, bool, sim.Time) { done0++ }
+	ini1.OnComplete = func(trace.Request, bool, sim.Time) { done1++ }
+	for i := uint64(0); i < 50; i++ {
+		ini0.Submit(trace.Request{ID: i, Op: trace.Read, LBA: i << 20, Size: 8192}, tgt.Node)
+		ini1.Submit(trace.Request{ID: 1000 + i, Op: trace.Write, LBA: (1000 + i) << 20, Size: 8192}, tgt.Node)
+	}
+	eng.RunUntilIdle()
+	if done0 != 50 || done1 != 50 {
+		t.Fatalf("completions %d/%d", done0, done1)
+	}
+	if len(tgt.DataFlows()) != 1 {
+		t.Fatalf("expected 1 data flow (only ini0 reads), got %d", len(tgt.DataFlows()))
+	}
+}
+
+func BenchmarkReadRoundTrips(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := newRig(b, 40e9, ssd.ConfigB())
+		for j := uint64(0); j < 200; j++ {
+			r.ini.Submit(trace.Request{ID: j, Op: trace.Read, LBA: j << 18, Size: 16 << 10}, r.tgt.Node)
+		}
+		r.eng.RunUntilIdle()
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// shared by every simulator in this repository: a nanosecond-resolution
+// virtual clock, a binary-heap event queue with a stable tiebreak, timers,
+// and a seeded random-number source.
+//
+// The kernel is deliberately single-threaded: all model state is mutated
+// only from event callbacks, which the engine runs one at a time in
+// (time, insertion) order. Determinism across runs with the same seed is a
+// hard invariant relied on by the experiment harness.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation. It is a distinct type to keep wall-clock durations from
+// leaking into the models.
+type Time int64
+
+// Common time unit constants, usable as multipliers: 5*sim.Microsecond.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String renders the time with an adaptive unit, e.g. "12.5ms".
+func (t Time) String() string { return t.Duration().String() }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. Events are ordered by (At, seq) where seq
+// is the insertion order, so two events at the same instant run in the
+// order they were scheduled.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e == nil || e.idx < 0 && e.Fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not ready;
+// use NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Processed counts events executed since construction; useful for
+	// progress reporting and as a runaway guard in tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it
+// always indicates a model bug, and silently clamping would mask it.
+// The returned *Event may be passed to Cancel.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn after delay d (d may be zero; negative panics).
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling a fired or already
+// cancelled event is a no-op, so callers can cancel unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+	ev.Fn = nil
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, the clock passes until, or
+// Stop is called. Events scheduled exactly at until are executed. The
+// clock is left at the last executed event (or until, if that is later
+// and events remain).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.At > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = next.At
+		fn := next.Fn
+		next.Fn = nil
+		e.Processed++
+		fn()
+	}
+	if len(e.events) == 0 && e.now < until && until != MaxTime {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes events until none remain or Stop is called.
+func (e *Engine) RunUntilIdle() { e.Run(MaxTime) }
+
+// Step executes exactly one event if any is pending, returning true if an
+// event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*Event)
+	e.now = next.At
+	fn := next.Fn
+	next.Fn = nil
+	e.Processed++
+	fn()
+	return true
+}
+
+// Ticker invokes fn every period until cancelled via the returned stop
+// function. The first tick fires one period from now. fn runs with the
+// engine clock at each tick time.
+func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.After(period, tick)
+		}
+	}
+	ev = e.After(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

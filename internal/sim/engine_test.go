@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time ran out of order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := make(map[Time]bool)
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired[at] = true })
+	}
+	e.Run(10)
+	if !fired[5] || !fired[10] {
+		t.Fatalf("events at or before boundary should fire: %v", fired)
+	}
+	if fired[15] || fired[20] {
+		t.Fatalf("events after boundary must not fire: %v", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock should rest at boundary, got %v", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntilIdle()
+	if !fired[15] || !fired[20] {
+		t.Fatal("remaining events should fire on resume")
+	}
+}
+
+func TestRunAdvancesClockToBoundaryWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("idle Run should advance clock to boundary, got %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.RunUntilIdle()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Time(i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.RunUntilIdle()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8 (%v)", len(got), got)
+	}
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 4 {
+		t.Fatalf("count = %d after Stop, want 4", count)
+	}
+	e.RunUntilIdle()
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	stop := e.Ticker(10, func() { ticks = append(ticks, e.Now()) })
+	e.Schedule(35, func() { stop() })
+	e.RunUntilIdle()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, at := range []Time{10, 20, 30} {
+		if ticks[i] != at {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], at)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(5, func() {
+		n++
+		if n == 2 {
+			stop()
+		}
+	})
+	e.RunUntilIdle()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after in-callback stop, want 2", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, recurse)
+		}
+	}
+	e.After(0, recurse)
+	e.RunUntilIdle()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now() = %v, want 99", e.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Fatalf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if (10 * Millisecond).Millis() != 10 {
+		t.Fatalf("Millis conversion wrong")
+	}
+	if (3 * Microsecond).Micros() != 3 {
+		t.Fatalf("Micros conversion wrong")
+	}
+	if FromSeconds(0.5) != 500*Millisecond {
+		t.Fatalf("FromSeconds(0.5) = %v", FromSeconds(0.5))
+	}
+}
+
+// Property: events always run in nondecreasing time order, regardless of
+// insertion order.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.RunUntilIdle()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.RunUntilIdle()
+	}
+}

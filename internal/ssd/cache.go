@@ -1,0 +1,142 @@
+package ssd
+
+// lruCache is the cached mapping table (CMT): a fixed-capacity LRU set of
+// logical page numbers whose mapping entries are resident in DRAM. A miss
+// costs a mapping-page read on the owning die (charged by the caller).
+type lruCache struct {
+	capacity int
+	entries  map[uint64]*lruNode
+	head     *lruNode // most recent
+	tail     *lruNode // least recent
+
+	Hits, Misses uint64
+}
+
+type lruNode struct {
+	key        uint64
+	prev, next *lruNode
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{capacity: capacity, entries: make(map[uint64]*lruNode, capacity)}
+}
+
+// Access touches key and reports whether it was resident. On a miss the
+// key is inserted (evicting the LRU entry if full).
+func (c *lruCache) Access(key uint64) (hit bool) {
+	if n, ok := c.entries[key]; ok {
+		c.Hits++
+		c.moveToFront(n)
+		return true
+	}
+	c.Misses++
+	n := &lruNode{key: key}
+	c.entries[key] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.key)
+	}
+	return false
+}
+
+// Len returns the resident entry count.
+func (c *lruCache) Len() int { return len(c.entries) }
+
+// HitRate returns hits / (hits+misses), or 0 before any access.
+func (c *lruCache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+// slotPool is a counting semaphore over DRAM write-cache slots: acquire
+// runs the continuation immediately when a slot is free, otherwise queues
+// it FIFO until release.
+type slotPool struct {
+	slots   int
+	used    int
+	waiters []func()
+
+	// PeakUsed tracks the high-water mark for metrics.
+	PeakUsed int
+}
+
+func newSlotPool(slots int) *slotPool {
+	if slots < 1 {
+		slots = 1
+	}
+	return &slotPool{slots: slots}
+}
+
+// Acquire grants a slot to fn now or when one frees up.
+func (p *slotPool) Acquire(fn func()) {
+	if p.used < p.slots {
+		p.used++
+		if p.used > p.PeakUsed {
+			p.PeakUsed = p.used
+		}
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}
+
+// Release frees a slot, handing it to the oldest waiter if any.
+func (p *slotPool) Release() {
+	if len(p.waiters) > 0 {
+		fn := p.waiters[0]
+		p.waiters[0] = nil
+		p.waiters = p.waiters[1:]
+		fn()
+		return
+	}
+	if p.used == 0 {
+		panic("ssd: slotPool.Release without Acquire")
+	}
+	p.used--
+}
+
+// InUse returns occupied slots; Waiting returns queued acquisitions.
+func (p *slotPool) InUse() int   { return p.used }
+func (p *slotPool) Waiting() int { return len(p.waiters) }

@@ -1,0 +1,376 @@
+package ssd
+
+import (
+	"fmt"
+
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// Device is one simulated SSD. It pulls commands from an nvme.Arbiter
+// whenever a queue-depth slot is free, translates them into page-level
+// flash operations, and invokes OnComplete when a command finishes.
+//
+// The command path mirrors MQSim's pipeline:
+//
+//	fetch (QD window) → address translation (CMT hit/miss) →
+//	backend scheduling (die array op + channel transfer) →
+//	completion (CQ entry)
+//
+// Writes pass through the DRAM write cache according to Config.CacheMode;
+// garbage collection runs per die when free space drops below the
+// watermark and steals die time from host operations.
+type Device struct {
+	Cfg Config
+
+	// OnComplete, if set, is called for every finished command after
+	// internal accounting. The engine clock is at the completion time.
+	OnComplete func(*nvme.Command)
+
+	// Gate, if set, models completion-queue backpressure: a finished
+	// command is only completed when Gate.Admit accepts it; otherwise it
+	// parks in a FIFO completion queue WITHOUT freeing its queue-depth
+	// slot, stalling the device once the window fills — the paper's
+	// Sec. II-B bottleneck, where read data stuck in the RDMA TXQ clogs
+	// the shared CQ and drags write throughput down with it. Call
+	// ReleaseParked when the gate may admit again.
+	Gate Gate
+
+	eng      *sim.Engine
+	arb      nvme.Arbiter
+	channels []*resource
+	dies     []*die
+	cmt      *lruCache
+	wcache   *slotPool
+
+	outstanding int
+	xferTime    sim.Time
+	parked      []*nvme.Command
+
+	// Metrics.
+	CompletedReads  uint64
+	CompletedWrites uint64
+	ReadBytes       int64
+	WriteBytes      int64
+	FetchedCommands uint64
+	PeakParked      int
+}
+
+// New builds a Device on the given engine, fed by arb.
+func New(eng *sim.Engine, cfg Config, arb nvme.Arbiter) (*Device, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		Cfg:      cfg,
+		eng:      eng,
+		arb:      arb,
+		cmt:      newLRUCache(int(cfg.CMTBytes / mapEntryBytes)),
+		wcache:   newSlotPool(int(cfg.WriteCacheBytes / int64(cfg.PageSize))),
+		xferTime: sim.Time(float64(cfg.PageSize) / cfg.ChannelBandwidth * float64(sim.Second)),
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		ch := newResource(eng)
+		d.channels = append(d.channels, ch)
+		for k := 0; k < cfg.DiesPerChannel; k++ {
+			res := newResource(eng)
+			idx := len(d.dies)
+			d.dies = append(d.dies, newDie(idx, res, ch, cfg.BlocksPerDie, cfg.PagesPerBlock, cfg.GCThreshold))
+		}
+	}
+	return d, nil
+}
+
+// Engine returns the device's event engine.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Arbiter returns the command source.
+func (d *Device) Arbiter() nvme.Arbiter { return d.arb }
+
+// Outstanding returns fetched-but-incomplete commands.
+func (d *Device) Outstanding() int { return d.outstanding }
+
+// CMTHitRate returns the mapping-cache hit rate so far.
+func (d *Device) CMTHitRate() float64 { return d.cmt.HitRate() }
+
+// WriteCacheInUse returns occupied write-cache slots.
+func (d *Device) WriteCacheInUse() int { return d.wcache.InUse() }
+
+// WriteAmplification returns (host programs + GC relocations) divided by
+// host programs — the flash write-amplification factor. Returns 1 with
+// no writes.
+func (d *Device) WriteAmplification() float64 {
+	var host, reloc uint64
+	for _, die := range d.dies {
+		host += die.HostPrograms
+		reloc += die.GCRelocations
+	}
+	if host == 0 {
+		return 1
+	}
+	return float64(host+reloc) / float64(host)
+}
+
+// GCStats sums garbage-collection activity across dies.
+func (d *Device) GCStats() (collections, relocations, erases uint64) {
+	for _, die := range d.dies {
+		collections += die.GCCollections
+		relocations += die.GCRelocations
+		erases += die.GCErases
+	}
+	return collections, relocations, erases
+}
+
+// DieUtilizations returns per-die busy fractions.
+func (d *Device) DieUtilizations() []float64 {
+	out := make([]float64, len(d.dies))
+	for i, die := range d.dies {
+		out[i] = die.res.utilization()
+	}
+	return out
+}
+
+// Precondition simulates MQSim-style preconditioning for a workload that
+// accesses the first span bytes of the logical space: the mapping
+// entries of that footprint are installed in the CMT (up to its
+// capacity), so steady-state runs do not pay cold mapping-read misses.
+// Call before submitting traffic.
+func (d *Device) Precondition(span uint64) {
+	pages := span / uint64(d.Cfg.PageSize)
+	limit := uint64(d.cmt.capacity)
+	if pages > limit {
+		pages = limit
+	}
+	for lpn := uint64(0); lpn < pages; lpn++ {
+		d.cmt.Access(lpn)
+	}
+	// Preconditioning accesses are setup, not workload.
+	d.cmt.Hits, d.cmt.Misses = 0, 0
+}
+
+// Kick pulls commands from the arbiter while queue-depth slots are free.
+// Call after submitting new commands; completions re-kick automatically.
+func (d *Device) Kick() {
+	for d.outstanding < d.Cfg.QueueDepth {
+		c := d.arb.Fetch()
+		if c == nil {
+			return
+		}
+		d.outstanding++
+		d.FetchedCommands++
+		d.process(c)
+	}
+}
+
+func (d *Device) dieOf(lpn uint64) *die { return d.dies[lpn%uint64(len(d.dies))] }
+
+// pageSpan returns the logical page numbers a command touches.
+func (d *Device) pageSpan(c *nvme.Command) (first, last uint64) {
+	ps := uint64(d.Cfg.PageSize)
+	first = c.LBA / ps
+	end := c.LBA + uint64(c.Size)
+	if end == c.LBA {
+		end = c.LBA + 1
+	}
+	last = (end - 1) / ps
+	return first, last
+}
+
+func (d *Device) process(c *nvme.Command) {
+	if c.Size <= 0 {
+		panic(fmt.Sprintf("ssd: command %d with size %d", c.ID, c.Size))
+	}
+	first, last := d.pageSpan(c)
+	remaining := int(last-first) + 1
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			d.complete(c)
+		}
+	}
+	for lpn := first; lpn <= last; lpn++ {
+		if c.Op == trace.Read {
+			d.readPage(lpn, done)
+		} else {
+			d.writePage(lpn, done)
+		}
+	}
+}
+
+// Gate admits or defers command completions (see Device.Gate).
+type Gate interface {
+	Admit(*nvme.Command) bool
+}
+
+func (d *Device) complete(c *nvme.Command) {
+	if d.Gate != nil && (len(d.parked) > 0 || !d.Gate.Admit(c)) {
+		// FIFO completion queue: nothing may overtake a parked entry.
+		d.parked = append(d.parked, c)
+		if len(d.parked) > d.PeakParked {
+			d.PeakParked = len(d.parked)
+		}
+		return
+	}
+	d.finish(c)
+}
+
+func (d *Device) finish(c *nvme.Command) {
+	d.outstanding--
+	if c.Op == trace.Read {
+		d.CompletedReads++
+		d.ReadBytes += int64(c.Size)
+	} else {
+		d.CompletedWrites++
+		d.WriteBytes += int64(c.Size)
+	}
+	if d.OnComplete != nil {
+		d.OnComplete(c)
+	}
+	d.Kick()
+}
+
+// Parked returns the number of finished-but-unadmitted completions.
+func (d *Device) Parked() int { return len(d.parked) }
+
+// ReleaseParked re-offers parked completions to the gate in FIFO order,
+// stopping at the first one it still refuses.
+func (d *Device) ReleaseParked() {
+	for len(d.parked) > 0 {
+		head := d.parked[0]
+		if d.Gate != nil && !d.Gate.Admit(head) {
+			return
+		}
+		d.parked[0] = nil
+		d.parked = d.parked[1:]
+		d.finish(head)
+	}
+}
+
+// readPage performs address translation then the array read and bus
+// transfer. Reads of never-written pages behave like preconditioned
+// reads (the usual MQSim setup): full array latency, no mapping change.
+func (d *Device) readPage(lpn uint64, done func()) {
+	die := d.dieOf(lpn)
+	dataRead := func() {
+		die.res.acquire(d.Cfg.ReadLatency, func() {
+			die.channel.acquire(d.xferTime, done)
+		})
+	}
+	if d.cmt.Access(lpn) {
+		dataRead()
+		return
+	}
+	// CMT miss: read the mapping page from flash first.
+	die.res.acquire(d.Cfg.ReadLatency, func() {
+		die.channel.acquire(d.xferTime, dataRead)
+	})
+}
+
+// writePage routes one page write through the write cache.
+func (d *Device) writePage(lpn uint64, done func()) {
+	d.wcache.Acquire(func() {
+		switch d.Cfg.CacheMode {
+		case WriteBack:
+			// Ack once the page is in DRAM; destage in the background.
+			d.eng.After(d.Cfg.DRAMLatency, done)
+			d.destage(lpn, d.wcache.Release)
+		default: // WriteThrough
+			d.destage(lpn, func() {
+				d.wcache.Release()
+				done()
+			})
+		}
+	})
+}
+
+// destage moves one cached page to flash: mapping update (CMT), bus
+// transfer, then program — stalling on GC when the die is out of space.
+func (d *Device) destage(lpn uint64, fin func()) {
+	die := d.dieOf(lpn)
+	prog := func() { d.program(die, lpn, fin) }
+	if d.cmt.Access(lpn) {
+		prog()
+		return
+	}
+	die.res.acquire(d.Cfg.ReadLatency, func() {
+		die.channel.acquire(d.xferTime, prog)
+	})
+}
+
+func (d *Device) program(die *die, lpn uint64, fin func()) {
+	die.channel.acquire(d.xferTime, func() {
+		var attempt func()
+		attempt = func() {
+			if !die.allocate(lpn) {
+				// Out of space: wait for GC to free a block.
+				die.writeWaiters = append(die.writeWaiters, attempt)
+				d.maybeGC(die)
+				return
+			}
+			die.HostPrograms++
+			die.res.acquire(d.Cfg.ProgramLatency, func() {
+				d.maybeGC(die)
+				fin()
+			})
+		}
+		attempt()
+	})
+}
+
+// maybeGC starts the per-die garbage-collection loop when the free-space
+// watermark is crossed.
+func (d *Device) maybeGC(die *die) {
+	if die.gcRunning || !die.gcNeeded() {
+		return
+	}
+	die.gcRunning = true
+	d.gcStep(die)
+}
+
+func (d *Device) gcStep(die *die) {
+	victim := die.pickVictim()
+	if victim < 0 {
+		die.gcRunning = false
+		if len(die.writeWaiters) > 0 && len(die.freeBlocks) == 0 && die.blocks[die.active].full(die.pagesPerBlock) {
+			// Every block is fully valid yet writes are stalled: the
+			// logical space overcommits the physical space.
+			panic(fmt.Sprintf("ssd: die %d wedged: writes waiting but no reclaimable space", die.index))
+		}
+		die.drainWaiters()
+		return
+	}
+	die.GCCollections++
+	live := die.liveLPNs(victim)
+	var relocate func(i int)
+	relocate = func(i int) {
+		// Skip entries invalidated by host writes since the snapshot.
+		for i < len(live) && !die.stillIn(live[i], victim) {
+			i++
+		}
+		if i >= len(live) {
+			// All live data moved: erase and recycle.
+			die.res.acquire(d.Cfg.EraseLatency, func() {
+				die.finishErase(victim)
+				die.drainWaiters()
+				if die.gcNeeded() {
+					d.gcStep(die)
+				} else {
+					die.gcRunning = false
+				}
+			})
+			return
+		}
+		lpn := live[i]
+		if !die.allocate(lpn) {
+			panic(fmt.Sprintf("ssd: die %d has no space for GC relocation", die.index))
+		}
+		die.GCRelocations++
+		// Copy-back: array read + program on the same die, no bus.
+		die.res.acquire(d.Cfg.ReadLatency+d.Cfg.ProgramLatency, func() {
+			relocate(i + 1)
+		})
+	}
+	relocate(0)
+}

@@ -1,0 +1,233 @@
+package ssd
+
+import (
+	"testing"
+
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// creditGate admits reads while credit lasts; writes always pass the
+// admission check (but still honour CQ FIFO order via parking).
+type creditGate struct {
+	credit int64
+}
+
+func (g *creditGate) Admit(c *nvme.Command) bool {
+	if c.Op != trace.Read {
+		return true
+	}
+	if g.credit >= int64(c.Size) {
+		g.credit -= int64(c.Size)
+		return true
+	}
+	return false
+}
+
+func TestGateParksCompletionsAndStallsDevice(t *testing.T) {
+	arb := nvme.NewSSQ(1, 1)
+	cfg := ConfigA()
+	cfg.QueueDepth = 8
+	eng, dev := testDevice(t, cfg, arb)
+	gate := &creditGate{credit: 2 * 16 << 10} // room for two reads
+	dev.Gate = gate
+
+	completed := 0
+	dev.OnComplete = func(*nvme.Command) { completed++ }
+	for i := uint64(0); i < 20; i++ {
+		arb.Submit(&nvme.Command{ID: i, Op: trace.Read, LBA: i << 20, Size: 16 << 10})
+	}
+	dev.Kick()
+	eng.RunUntilIdle()
+
+	if completed != 2 {
+		t.Fatalf("completed %d, want 2 (credit-limited)", completed)
+	}
+	if dev.Parked() == 0 {
+		t.Fatal("no parked completions")
+	}
+	// Device must be stalled: outstanding slots held by parked commands.
+	if dev.Outstanding() != cfg.QueueDepth {
+		t.Fatalf("outstanding %d, want full window %d", dev.Outstanding(), cfg.QueueDepth)
+	}
+	if dev.PeakParked == 0 {
+		t.Fatal("peak parked not recorded")
+	}
+
+	// Return credit: parked completions drain in FIFO order and the
+	// device resumes fetching.
+	gate.credit = 1 << 30
+	dev.ReleaseParked()
+	eng.RunUntilIdle()
+	if completed != 20 {
+		t.Fatalf("completed %d after release, want 20", completed)
+	}
+	if dev.Parked() != 0 {
+		t.Fatalf("%d still parked", dev.Parked())
+	}
+}
+
+func TestGateFIFOBlocksWritesBehindReads(t *testing.T) {
+	// The shared CQ is ordered: a write finishing after a blocked read
+	// must not overtake it — the paper's write-collapse mechanism.
+	arb := nvme.NewSSQ(1, 1)
+	cfg := ConfigB()
+	cfg.QueueDepth = 4
+	eng, dev := testDevice(t, cfg, arb)
+	dev.Gate = &creditGate{credit: 0} // no read may complete
+
+	var order []trace.Op
+	dev.OnComplete = func(c *nvme.Command) { order = append(order, c.Op) }
+
+	// A read (fast on SSD-B) followed by a write.
+	arb.Submit(&nvme.Command{ID: 1, Op: trace.Read, LBA: 0, Size: 16 << 10})
+	arb.Submit(&nvme.Command{ID: 2, Op: trace.Write, LBA: 1 << 20, Size: 16 << 10})
+	dev.Kick()
+	eng.RunUntilIdle()
+
+	if len(order) != 0 {
+		t.Fatalf("completions escaped a zero-credit gate: %v", order)
+	}
+	if dev.Parked() != 2 {
+		t.Fatalf("parked %d, want 2 (write queued behind read)", dev.Parked())
+	}
+
+	dev.Gate = nil // lift the gate entirely
+	dev.ReleaseParked()
+	if len(order) != 2 || order[0] != trace.Read || order[1] != trace.Write {
+		t.Fatalf("FIFO release order wrong: %v", order)
+	}
+}
+
+func TestPreconditionBoundsAndResetsStats(t *testing.T) {
+	arb := nvme.NewSSQ(1, 1)
+	cfg := ConfigA()
+	_, dev := testDevice(t, cfg, arb)
+	dev.Precondition(1 << 30) // 1 GiB footprint, within CMT coverage
+	if dev.cmt.Hits != 0 || dev.cmt.Misses != 0 {
+		t.Fatal("precondition must not count as workload accesses")
+	}
+	wantEntries := int((1 << 30) / cfg.PageSize)
+	if dev.cmt.Len() != wantEntries {
+		t.Fatalf("CMT entries %d, want %d", dev.cmt.Len(), wantEntries)
+	}
+	// A footprint beyond CMT capacity is clipped, not an error.
+	dev.Precondition(1 << 40)
+	if dev.cmt.Len() > int(cfg.CMTBytes/mapEntryBytes) {
+		t.Fatalf("CMT overfilled: %d", dev.cmt.Len())
+	}
+}
+
+func TestWriteBackBlocksWhenCacheFull(t *testing.T) {
+	// Write-back acks are instant only while slots exist; once the cache
+	// is full, further writes wait for destage.
+	cfg := ConfigA()
+	cfg.CacheMode = WriteBack
+	cfg.WriteCacheBytes = int64(cfg.PageSize) * 4 // 4 slots
+	arb := nvme.NewSSQ(1, 1)
+	eng, dev := testDevice(t, cfg, arb)
+
+	acks := 0
+	dev.OnComplete = func(*nvme.Command) { acks++ }
+	for i := uint64(0); i < 16; i++ {
+		arb.Submit(&nvme.Command{ID: i, Op: trace.Write, LBA: i << 20, Size: cfg.PageSize})
+	}
+	dev.Kick()
+	// Within the DRAM-ack horizon only the first 4 writes can be in
+	// cache; run 3 DRAM latencies.
+	eng.Run(3 * cfg.DRAMLatency)
+	if acks > 4 {
+		t.Fatalf("%d acks before any destage; cache holds 4", acks)
+	}
+	eng.RunUntilIdle()
+	if acks != 16 {
+		t.Fatalf("final acks %d", acks)
+	}
+}
+
+func TestGCSlowsForegroundWrites(t *testing.T) {
+	// With GC pressure (tiny device, sustained overwrites) the same
+	// workload takes longer than on a fresh large device — GC erases and
+	// relocations steal die time.
+	mkCfg := func(blocks int) Config {
+		return Config{
+			Name: "gctest", QueueDepth: 8,
+			Channels: 1, DiesPerChannel: 1,
+			BlocksPerDie: blocks, PagesPerBlock: 8,
+			PageSize:    4096,
+			GCThreshold: 0.2,
+		}
+	}
+	elapsed := func(cfg Config) sim.Time {
+		arb := nvme.NewSSQ(1, 1)
+		eng, dev := testDevice(t, cfg, arb)
+		tr := &trace.Trace{}
+		for i := 0; i < 500; i++ {
+			tr.Requests = append(tr.Requests, trace.Request{
+				ID: uint64(i), Op: trace.Write,
+				LBA:     uint64(i%20) * 4096,
+				Size:    4096,
+				Arrival: sim.Time(i) * 10 * sim.Microsecond,
+			})
+		}
+		driveTrace(eng, dev, arb, tr)
+		return eng.Now()
+	}
+	small := elapsed(mkCfg(6))    // 48 pages: heavy GC churn
+	large := elapsed(mkCfg(1024)) // effectively GC-free
+	if small <= large {
+		t.Fatalf("GC-pressured run (%v) should be slower than GC-free (%v)", small, large)
+	}
+}
+
+func TestChannelUtilizationTracked(t *testing.T) {
+	arb := nvme.NewSSQ(1, 1)
+	eng, dev := testDevice(t, ConfigA(), arb)
+	for i := uint64(0); i < 200; i++ {
+		arb.Submit(&nvme.Command{ID: i, Op: trace.Read, LBA: i << 20, Size: 16 << 10})
+	}
+	dev.Kick()
+	eng.RunUntilIdle()
+	var busy sim.Time
+	for _, ch := range dev.channels {
+		busy += ch.BusyTime
+	}
+	if busy == 0 {
+		t.Fatal("channels reported no busy time")
+	}
+}
+
+func TestWriteAmplificationUnderGC(t *testing.T) {
+	cfg := Config{
+		Name: "wa", QueueDepth: 8,
+		Channels: 1, DiesPerChannel: 1,
+		BlocksPerDie: 8, PagesPerBlock: 8,
+		PageSize:    4096,
+		GCThreshold: 0.25,
+	}
+	arb := nvme.NewSSQ(1, 1)
+	eng, dev := testDevice(t, cfg, arb)
+	if dev.WriteAmplification() != 1 {
+		t.Fatal("WA without writes should be 1")
+	}
+	// Working set near capacity (40 live pages of 64): GC victims then
+	// always carry valid pages that must be relocated.
+	tr := &trace.Trace{}
+	for i := 0; i < 500; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{
+			ID: uint64(i), Op: trace.Write,
+			LBA:     uint64(i%40) * 4096,
+			Size:    4096,
+			Arrival: sim.Time(i) * 50 * sim.Microsecond,
+		})
+	}
+	driveTrace(eng, dev, arb, tr)
+	wa := dev.WriteAmplification()
+	if wa <= 1 {
+		t.Fatalf("sustained overwrites near capacity should amplify writes, WA=%v", wa)
+	}
+	if wa > 10 {
+		t.Fatalf("implausible WA=%v", wa)
+	}
+}

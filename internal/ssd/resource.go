@@ -1,0 +1,45 @@
+package ssd
+
+import "srcsim/internal/sim"
+
+// resource is a non-preemptive FIFO server (a die or a channel bus).
+// acquire serialises work: the k-th acquisition starts when the (k-1)-th
+// finishes. Because nothing is ever cancelled, the server is modelled by
+// a single busy-until horizon rather than an explicit queue.
+type resource struct {
+	eng       *sim.Engine
+	busyUntil sim.Time
+	// BusyTime accumulates total service time for utilisation metrics.
+	BusyTime sim.Time
+}
+
+func newResource(eng *sim.Engine) *resource { return &resource{eng: eng} }
+
+// acquire schedules fn to run after holding the resource for dur,
+// queueing behind all previously accepted work.
+func (r *resource) acquire(dur sim.Time, fn func()) {
+	start := r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + dur
+	r.BusyTime += dur
+	r.eng.Schedule(r.busyUntil, fn)
+}
+
+// queueDelay returns how long new work would wait before starting.
+func (r *resource) queueDelay() sim.Time {
+	if r.busyUntil <= r.eng.Now() {
+		return 0
+	}
+	return r.busyUntil - r.eng.Now()
+}
+
+// utilization returns the busy fraction over elapsed simulated time.
+func (r *resource) utilization() float64 {
+	now := r.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / float64(now)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-memory log₂-bucketed histogram for positive
+// values (latencies, sizes). Bucket i covers [2^i, 2^(i+1)); values
+// below 1 land in bucket 0. Quantiles are estimated by linear
+// interpolation inside the containing bucket, giving ≤ 50% relative
+// error at any scale with 64 counters — the usual trade for streaming
+// latency percentiles.
+type Histogram struct {
+	counts [64]uint64
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Add folds one observation in; non-positive values count into bucket 0.
+func (h *Histogram) Add(v float64) {
+	idx := 0
+	if v >= 1 {
+		idx = int(math.Log2(v))
+		if idx > 63 {
+			idx = 63
+		}
+	}
+	h.counts[idx]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact running mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the exact observed extremes.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-th (0..1) quantile.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.total)
+	var seen float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			if i == 0 {
+				lo = 0
+			}
+			frac := (rank - seen) / float64(c)
+			v := lo + (hi-lo)*frac
+			// Clamp to the observed range for edge buckets.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += float64(c)
+	}
+	return h.max
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"srcsim/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 3.75 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 8 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 8 {
+		t.Fatal("quantile endpoints")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against exact percentiles on a log-uniform sample: log buckets
+	// guarantee bounded relative error.
+	rng := sim.NewRNG(3)
+	var h Histogram
+	xs := make([]float64, 20000)
+	for i := range xs {
+		v := math.Exp2(rng.Float64() * 20) // 1 .. ~1e6
+		xs[i] = v
+		h.Add(v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := xs[int(q*float64(len(xs)))]
+		est := h.Quantile(q)
+		rel := math.Abs(est-exact) / exact
+		if rel > 0.5 {
+			t.Fatalf("q=%v: estimate %v vs exact %v (rel %v)", q, est, exact, rel)
+		}
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(-5) // clamps into bucket 0
+	h.Add(0.25)
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q < -5 || q > 1 {
+		t.Fatalf("sub-unit quantile %v", q)
+	}
+	// Gigantic values cap at the top bucket without panicking.
+	h.Add(math.MaxFloat64)
+	if h.Max() != math.MaxFloat64 {
+		t.Fatal("max not tracked")
+	}
+}
+
+// Property: quantile estimates are monotone in q and within [min, max].
+func TestPropertyHistogramMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Add(float64(v) + 1)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := h.Quantile(0)
+		for q := 0.05; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev-1e-9 {
+				return false
+			}
+			if cur < h.Min()-1e-9 || cur > h.Max()+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}

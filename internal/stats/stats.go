@@ -1,0 +1,215 @@
+// Package stats provides the descriptive statistics used throughout the
+// reproduction: streaming moment accumulators, squared coefficient of
+// variation (SCV), skewness, lag-k autocorrelation, percentiles, and
+// fixed-width time-series bucketing for throughput/pause plots.
+//
+// The paper's workload feature vector (Sec. III-B) is built from these
+// quantities: per-direction mean and SCV of request size and inter-arrival
+// time, and arrival flow speed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates count, mean, and central moments incrementally
+// (Welford / Terriberry update), so callers never need to retain samples.
+// The zero value is ready to use.
+type Moments struct {
+	n          int64
+	mean       float64
+	m2, m3, m4 float64
+	min, max   float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	n1 := float64(m.n)
+	m.n++
+	n := float64(m.n)
+	delta := x - m.mean
+	deltaN := delta / n
+	deltaN2 := deltaN * deltaN
+	term1 := delta * deltaN * n1
+	m.mean += deltaN
+	m.m4 += term1*deltaN2*(n*n-3*n+3) + 6*deltaN2*m.m2 - 4*deltaN*m.m3
+	m.m3 += term1*deltaN*(n-2) - 3*deltaN*m.m2
+	m.m2 += term1
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (m *Moments) AddAll(xs []float64) {
+	for _, x := range xs {
+		m.Add(x)
+	}
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() int64 { return m.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Moments) Max() float64 { return m.max }
+
+// Variance returns the population variance (n denominator).
+func (m *Moments) Variance() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVariance returns the unbiased sample variance (n-1 denominator).
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// SCV returns the squared coefficient of variation, Var/Mean².
+// An exponential stream has SCV 1; SCV > 1 indicates burstiness.
+func (m *Moments) SCV() float64 {
+	if m.mean == 0 {
+		return 0
+	}
+	return m.Variance() / (m.mean * m.mean)
+}
+
+// Skewness returns the standardized third central moment.
+func (m *Moments) Skewness() float64 {
+	if m.n == 0 || m.m2 == 0 {
+		return 0
+	}
+	n := float64(m.n)
+	return math.Sqrt(n) * m.m3 / math.Pow(m.m2, 1.5)
+}
+
+// Kurtosis returns excess kurtosis (normal = 0).
+func (m *Moments) Kurtosis() float64 {
+	if m.n == 0 || m.m2 == 0 {
+		return 0
+	}
+	n := float64(m.n)
+	return n*m.m4/(m.m2*m.m2) - 3
+}
+
+// String summarises the accumulator for logs.
+func (m *Moments) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g scv=%.4g skew=%.4g", m.n, m.Mean(), m.SCV(), m.Skewness())
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SCV returns the squared coefficient of variation of xs.
+func SCV(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu == 0 {
+		return 0
+	}
+	return Variance(xs) / (mu * mu)
+}
+
+// Skewness returns the standardized skewness of xs.
+func Skewness(xs []float64) float64 {
+	var m Moments
+	m.AddAll(xs)
+	return m.Skewness()
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs, the
+// burstiness statistic the paper extracts from real traces before MMPP
+// fitting. It returns 0 when the series is too short or constant.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || n <= lag {
+		return 0
+	}
+	mu := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mu
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - mu) * (xs[i+lag] - mu)
+	}
+	return num / den
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }

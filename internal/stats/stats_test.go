@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"srcsim/internal/sim"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMomentsBasic(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.Count() != 8 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if !almostEqual(m.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m.Mean())
+	}
+	if !almostEqual(m.Variance(), 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", m.Variance())
+	}
+	if !almostEqual(m.StdDev(), 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", m.StdDev())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.SCV() != 0 || m.Skewness() != 0 {
+		t.Fatal("empty Moments should report zeros")
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	var m Moments
+	m.AddAll([]float64{1, 2, 3})
+	if !almostEqual(m.SampleVariance(), 1, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want 1", m.SampleVariance())
+	}
+	var one Moments
+	one.Add(5)
+	if one.SampleVariance() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestSCVConstantSeries(t *testing.T) {
+	var m Moments
+	for i := 0; i < 10; i++ {
+		m.Add(3)
+	}
+	if m.SCV() != 0 {
+		t.Fatalf("constant series SCV = %v, want 0", m.SCV())
+	}
+}
+
+func TestSCVExponentialIsOne(t *testing.T) {
+	r := sim.NewRNG(5)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Exp(42))
+	}
+	if math.Abs(m.SCV()-1) > 0.05 {
+		t.Fatalf("exponential SCV = %v, want ~1", m.SCV())
+	}
+}
+
+func TestSkewnessSigns(t *testing.T) {
+	// Right-skewed data has positive skewness; symmetric ~0.
+	right := []float64{1, 1, 1, 1, 2, 2, 3, 10}
+	if Skewness(right) <= 0 {
+		t.Fatalf("right-skewed skewness = %v, want > 0", Skewness(right))
+	}
+	sym := []float64{-2, -1, 0, 1, 2}
+	if math.Abs(Skewness(sym)) > 1e-9 {
+		t.Fatalf("symmetric skewness = %v, want 0", Skewness(sym))
+	}
+}
+
+func TestKurtosisNormalIsZero(t *testing.T) {
+	r := sim.NewRNG(5)
+	var m Moments
+	for i := 0; i < 300000; i++ {
+		m.Add(r.Norm(0, 1))
+	}
+	if math.Abs(m.Kurtosis()) > 0.1 {
+		t.Fatalf("normal excess kurtosis = %v, want ~0", m.Kurtosis())
+	}
+}
+
+func TestMomentsMatchBatchFunctions(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var m Moments
+		m.AddAll(xs)
+		return almostEqual(m.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(m.Variance(), Variance(xs), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly alternating series has negative lag-1 autocorrelation.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(alt, 1); ac > -0.9 {
+		t.Fatalf("alternating lag-1 autocorr = %v, want near -1", ac)
+	}
+	// A slowly varying series has positive lag-1 autocorrelation.
+	slow := make([]float64, 100)
+	for i := range slow {
+		slow[i] = math.Sin(float64(i) / 10)
+	}
+	if ac := Autocorrelation(slow, 1); ac < 0.9 {
+		t.Fatalf("slow lag-1 autocorr = %v, want near 1", ac)
+	}
+	// Degenerate inputs.
+	if Autocorrelation(nil, 1) != 0 || Autocorrelation([]float64{1, 1, 1}, 1) != 0 {
+		t.Fatal("degenerate autocorrelation should be 0")
+	}
+	if Autocorrelation(alt, 0) != 0 || Autocorrelation(alt, 200) != 0 {
+		t.Fatal("invalid lag should yield 0")
+	}
+}
+
+func TestAutocorrelationIIDNearZero(t *testing.T) {
+	r := sim.NewRNG(77)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	if ac := Autocorrelation(xs, 1); math.Abs(ac) > 0.02 {
+		t.Fatalf("iid lag-1 autocorr = %v, want ~0", ac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("single-element percentile")
+	}
+	// Out-of-range p clamps.
+	if Percentile(xs, -5) != 1 || Percentile(xs, 300) != 5 {
+		t.Fatal("percentile clamping failed")
+	}
+	if Median(xs) != 3 {
+		t.Fatal("median")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(sim.Millisecond)
+	ts.Add(0, 10)
+	ts.Add(sim.Millisecond-1, 5)
+	ts.Add(sim.Millisecond, 7)
+	ts.Add(3*sim.Millisecond+500, 1)
+	if ts.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ts.Len())
+	}
+	if ts.Sum(0) != 15 || ts.Sum(1) != 7 || ts.Sum(2) != 0 || ts.Sum(3) != 1 {
+		t.Fatalf("bucket sums wrong: %v", ts.Sums())
+	}
+	if ts.Count(0) != 2 {
+		t.Fatalf("Count(0) = %d", ts.Count(0))
+	}
+	if ts.Total() != 23 {
+		t.Fatalf("Total = %v", ts.Total())
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := NewTimeSeries(10 * sim.Millisecond)
+	ts.Add(0, 1e6) // 1e6 bits in 10ms = 1e8 bits/s
+	rates := ts.Rate()
+	if !almostEqual(rates[0], 1e8, 1e-9) {
+		t.Fatalf("Rate = %v, want 1e8", rates[0])
+	}
+}
+
+func TestTimeSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bucket width should panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTrimFraction(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	trimmed := TrimFraction(xs, 0.1)
+	if len(trimmed) != 8 || trimmed[0] != 2 || trimmed[7] != 9 {
+		t.Fatalf("TrimFraction(0.1) = %v", trimmed)
+	}
+	if got := TrimFraction(xs, 0); len(got) != 10 {
+		t.Fatal("zero trim should be identity")
+	}
+	// Over-trimming never empties the slice.
+	if got := TrimFraction([]float64{1, 2}, 0.9); len(got) == 0 {
+		t.Fatalf("over-trim emptied slice: %v", got)
+	}
+	if got := TrimFraction(nil, 0.5); len(got) != 0 {
+		t.Fatal("nil input should stay empty")
+	}
+}
+
+func BenchmarkMomentsAdd(b *testing.B) {
+	var m Moments
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"srcsim/internal/sim"
+)
+
+// TimeSeries accumulates values into fixed-width time buckets. It backs
+// the paper's runtime plots: per-millisecond read/write throughput
+// (Figs. 7, 9, 10) and pause counts (Fig. 8).
+type TimeSeries struct {
+	bucket  sim.Time
+	sums    []float64
+	counts  []int64
+	maxSeen sim.Time
+}
+
+// NewTimeSeries returns a series with the given bucket width.
+func NewTimeSeries(bucket sim.Time) *TimeSeries {
+	if bucket <= 0 {
+		panic("stats: non-positive time-series bucket")
+	}
+	return &TimeSeries{bucket: bucket}
+}
+
+// Bucket returns the configured bucket width.
+func (ts *TimeSeries) Bucket() sim.Time { return ts.bucket }
+
+// Add accumulates v into the bucket containing time at.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	if at < 0 {
+		panic("stats: negative time in TimeSeries.Add")
+	}
+	i := int(at / ts.bucket)
+	for len(ts.sums) <= i {
+		ts.sums = append(ts.sums, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.sums[i] += v
+	ts.counts[i]++
+	if at > ts.maxSeen {
+		ts.maxSeen = at
+	}
+}
+
+// Len returns the number of buckets (including empty interior ones).
+func (ts *TimeSeries) Len() int { return len(ts.sums) }
+
+// Sum returns the accumulated value of bucket i.
+func (ts *TimeSeries) Sum(i int) float64 { return ts.sums[i] }
+
+// Count returns the number of Add calls that landed in bucket i.
+func (ts *TimeSeries) Count(i int) int64 { return ts.counts[i] }
+
+// Sums returns a copy of all bucket sums.
+func (ts *TimeSeries) Sums() []float64 { return append([]float64(nil), ts.sums...) }
+
+// Rate returns bucket sums divided by the bucket width in seconds — i.e.
+// if values are bits, Rate yields bits/second per bucket.
+func (ts *TimeSeries) Rate() []float64 {
+	sec := ts.bucket.Seconds()
+	out := make([]float64, len(ts.sums))
+	for i, s := range ts.sums {
+		out[i] = s / sec
+	}
+	return out
+}
+
+// TrimFraction returns bucket sums with the first and last frac of buckets
+// removed, the paper's warm-up/wrap-up trimming (10% each side).
+func (ts *TimeSeries) TrimFraction(frac float64) []float64 {
+	return TrimFraction(ts.Sums(), frac)
+}
+
+// TrimFraction removes the first and last frac of xs (rounded down each
+// side). The slice shrinks but never to below a single element unless xs
+// is empty.
+func TrimFraction(xs []float64, frac float64) []float64 {
+	if len(xs) == 0 || frac <= 0 {
+		return xs
+	}
+	k := int(float64(len(xs)) * frac)
+	if 2*k >= len(xs) {
+		k = (len(xs) - 1) / 2
+	}
+	return xs[k : len(xs)-k]
+}
+
+// Total returns the sum over all buckets.
+func (ts *TimeSeries) Total() float64 {
+	var t float64
+	for _, s := range ts.sums {
+		t += s
+	}
+	return t
+}
+
+// String renders a compact summary.
+func (ts *TimeSeries) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TimeSeries(bucket=%v, n=%d, total=%.4g)", ts.bucket, len(ts.sums), ts.Total())
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package timely
+
+import (
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LineRate != 40e9 || c.Beta != 0.8 || c.Tlow != 30*sim.Microsecond {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.Tlow, bad.Thigh = 200*sim.Microsecond, 100*sim.Microsecond
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Tlow >= Thigh should fail")
+	}
+	bad = c
+	bad.Beta = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("beta >= 1 should fail")
+	}
+	bad = c
+	bad.MinRate = 80e9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MinRate > LineRate should fail")
+	}
+}
+
+func TestStartsAtLineRateAndNeedsAck(t *testing.T) {
+	rp := NewRP(Config{LineRate: 10e9})
+	if rp.Rate() != 10e9 {
+		t.Fatalf("initial rate %v", rp.Rate())
+	}
+	if !rp.NeedsAck() {
+		t.Fatal("TIMELY must request acks")
+	}
+}
+
+func TestLowRTTIncreases(t *testing.T) {
+	rp := NewRP(Config{LineRate: 10e9})
+	rp.OnAck(12 * sim.Microsecond) // first sample: warm-up only
+	before := rp.Rate()
+	// Already at line rate: clamp keeps it there.
+	rp.OnAck(12 * sim.Microsecond)
+	if rp.Rate() != before {
+		t.Fatalf("rate above line: %v", rp.Rate())
+	}
+	// Knock the rate down, then low RTTs must recover it additively.
+	rp.OnCongestionSignal()
+	down := rp.Rate()
+	if down >= before {
+		t.Fatal("congestion signal did not reduce rate")
+	}
+	for i := 0; i < 5; i++ {
+		rp.OnAck(12 * sim.Microsecond)
+	}
+	if rp.Rate() <= down {
+		t.Fatalf("low-RTT acks did not raise rate: %v", rp.Rate())
+	}
+}
+
+func TestHighRTTDecreasesProportionally(t *testing.T) {
+	rp := NewRP(Config{LineRate: 10e9})
+	rp.OnAck(50 * sim.Microsecond)
+	rp.OnAck(400 * sim.Microsecond) // far above Thigh=150us
+	if rp.Rate() >= 10e9 {
+		t.Fatalf("high RTT did not decrease rate: %v", rp.Rate())
+	}
+	// Deeper violation cuts more.
+	rp2 := NewRP(Config{LineRate: 10e9})
+	rp2.OnAck(50 * sim.Microsecond)
+	rp2.OnAck(1000 * sim.Microsecond)
+	if rp2.Rate() >= rp.Rate() {
+		t.Fatalf("deeper RTT violation should cut more: %v vs %v", rp2.Rate(), rp.Rate())
+	}
+}
+
+func TestGradientRegionFollowsTrend(t *testing.T) {
+	// Rising RTTs inside [Tlow, Thigh] should reduce the rate; falling
+	// RTTs should raise it.
+	rising := NewRP(Config{LineRate: 10e9})
+	for _, us := range []int{60, 70, 80, 90, 100, 110} {
+		rising.OnAck(sim.Time(us) * sim.Microsecond)
+	}
+	if rising.Rate() >= 10e9 {
+		t.Fatalf("rising RTT gradient did not cut rate: %v", rising.Rate())
+	}
+
+	falling := NewRP(Config{LineRate: 10e9})
+	falling.OnCongestionSignal() // below line rate so increases are visible
+	start := falling.Rate()
+	for _, us := range []int{140, 120, 100, 80, 60, 50} {
+		falling.OnAck(sim.Time(us) * sim.Microsecond)
+	}
+	if falling.Rate() <= start {
+		t.Fatalf("falling RTT gradient did not raise rate: %v", falling.Rate())
+	}
+}
+
+func TestHyperActiveIncreaseKicksIn(t *testing.T) {
+	cfg := Config{LineRate: 40e9, AddStep: 10e6, HAIThreshold: 3}
+	slow := NewRP(cfg)
+	slow.OnCongestionSignal()
+	slow.OnCongestionSignal()
+	base := slow.Rate()
+	// Repeated negative-gradient decisions: after HAIThreshold the step
+	// grows 5x, so 8 decisions gain more than 8 plain steps.
+	for i := 0; i < 9; i++ {
+		slow.OnAck(60 * sim.Microsecond) // flat RTT: gradient <= 0
+	}
+	gained := slow.Rate() - base
+	if gained <= 8*cfg.AddStep {
+		t.Fatalf("HAI not engaged: gained %v", gained)
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	rp := NewRP(Config{LineRate: 10e9, MinRate: 100e6})
+	for i := 0; i < 100; i++ {
+		rp.OnCongestionSignal()
+	}
+	if rp.Rate() != 100e6 {
+		t.Fatalf("rate floor violated: %v", rp.Rate())
+	}
+	for i := 0; i < 10000; i++ {
+		rp.OnAck(5 * sim.Microsecond)
+	}
+	if rp.Rate() > 10e9 {
+		t.Fatalf("rate ceiling violated: %v", rp.Rate())
+	}
+}
+
+func TestRateListener(t *testing.T) {
+	rp := NewRP(Config{LineRate: 10e9})
+	events := 0
+	rp.SetRateListener(func(old, new float64) {
+		if old == new {
+			t.Error("listener fired without change")
+		}
+		events++
+	})
+	rp.OnCongestionSignal()
+	rp.OnAck(12 * sim.Microsecond)
+	rp.OnAck(12 * sim.Microsecond)
+	if events == 0 {
+		t.Fatal("no rate events")
+	}
+	if rp.RateDecreases == 0 || rp.RateIncreases == 0 {
+		t.Fatalf("counters %d/%d", rp.RateDecreases, rp.RateIncreases)
+	}
+}
+
+func TestOnBytesSentIsNoop(t *testing.T) {
+	rp := NewRP(Config{})
+	before := rp.Rate()
+	rp.OnBytesSent(1 << 30)
+	if rp.Rate() != before {
+		t.Fatal("OnBytesSent changed the rate")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+const msrSample = `# MSR Cambridge format sample
+128166372003061629,hm,0,Read,383496192,32768,413
+128166372003061829,hm,0,Write,383528960,8192,512
+128166372003062129,hm,0,read,1024,4096,100
+`
+
+func TestReadMSR(t *testing.T) {
+	tr, err := ReadMSR(strings.NewReader(msrSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	first := tr.Requests[0]
+	if first.Arrival != 0 {
+		t.Fatalf("first arrival %v, want rebased 0", first.Arrival)
+	}
+	if first.Op != Read || first.LBA != 383496192 || first.Size != 32768 {
+		t.Fatalf("first request %+v", first)
+	}
+	// 200 ticks * 100ns = 20µs gap.
+	if tr.Requests[1].Arrival != 20*sim.Microsecond {
+		t.Fatalf("second arrival %v, want 20µs", tr.Requests[1].Arrival)
+	}
+	if tr.Requests[1].Op != Write {
+		t.Fatal("second op")
+	}
+	if tr.Requests[2].Op != Read {
+		t.Fatal("lowercase type not accepted")
+	}
+	// IDs sequential after sort.
+	for i, r := range tr.Requests {
+		if r.ID != uint64(i) {
+			t.Fatalf("ID %d at index %d", r.ID, i)
+		}
+	}
+}
+
+func TestReadMSRRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"short line": "123,hm,0,Read,100\n",
+		"bad ts":     "zz,hm,0,Read,100,4096,1\n",
+		"bad type":   "123,hm,0,Trim,100,4096,1\n",
+		"bad size":   "123,hm,0,Read,100,-5,1\n",
+		"bad offset": "123,hm,0,Read,xx,4096,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMSR(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadMSRSortsOutOfOrder(t *testing.T) {
+	in := "2000,hm,0,Read,0,4096,1\n1000,hm,0,Write,8192,4096,1\n"
+	tr, err := ReadMSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Requests[0].Op != Write || tr.Requests[0].Arrival >= tr.Requests[1].Arrival {
+		t.Fatalf("not time-sorted: %+v", tr.Requests)
+	}
+}
+
+func TestReadMSREmpty(t *testing.T) {
+	tr, err := ReadMSR(strings.NewReader("# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/stats"
+)
+
+// DirStats summarises one I/O direction of a trace: the statistics the
+// paper's feature extractor computes per direction (Sec. III-B) plus the
+// higher moments used for MMPP trace fitting (Sec. IV-A).
+type DirStats struct {
+	Count int
+
+	// Request-size statistics (bytes).
+	MeanSize float64
+	SizeSCV  float64
+	SizeSkew float64
+
+	// Inter-arrival statistics (nanoseconds between consecutive requests
+	// of this direction).
+	MeanInterArrival float64
+	InterArrivalSCV  float64
+	InterArrivalSkew float64
+	InterArrivalACF1 float64
+
+	// FlowSpeed is the arrival flow speed: bytes arriving per second —
+	// the feature the paper finds most important (weight 0.39).
+	FlowSpeed float64
+}
+
+// Stats is the full per-trace characterisation.
+type Stats struct {
+	Read, Write DirStats
+	// ReadRatio is reads / (reads + writes) by request count.
+	ReadRatio float64
+	Duration  sim.Time
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d(avg %.0fB) writes=%d(avg %.0fB) readRatio=%.2f dur=%v",
+		s.Read.Count, s.Read.MeanSize, s.Write.Count, s.Write.MeanSize, s.ReadRatio, s.Duration)
+}
+
+// ExtractDirStats computes DirStats over the requests of a single
+// direction, in arrival order.
+func ExtractDirStats(reqs []Request) DirStats {
+	d := DirStats{Count: len(reqs)}
+	if len(reqs) == 0 {
+		return d
+	}
+	var size stats.Moments
+	for _, r := range reqs {
+		size.Add(float64(r.Size))
+	}
+	d.MeanSize = size.Mean()
+	d.SizeSCV = size.SCV()
+	d.SizeSkew = size.Skewness()
+
+	if len(reqs) >= 2 {
+		inter := make([]float64, 0, len(reqs)-1)
+		var im stats.Moments
+		for i := 1; i < len(reqs); i++ {
+			dt := float64(reqs[i].Arrival - reqs[i-1].Arrival)
+			inter = append(inter, dt)
+			im.Add(dt)
+		}
+		d.MeanInterArrival = im.Mean()
+		d.InterArrivalSCV = im.SCV()
+		d.InterArrivalSkew = im.Skewness()
+		d.InterArrivalACF1 = stats.Autocorrelation(inter, 1)
+	}
+
+	span := reqs[len(reqs)-1].Arrival - reqs[0].Arrival
+	if span > 0 {
+		var total float64
+		for _, r := range reqs {
+			total += float64(r.Size)
+		}
+		d.FlowSpeed = total / span.Seconds()
+	}
+	return d
+}
+
+// Extract computes the full Stats of a trace. The trace must be
+// time-ordered (call Sort first if in doubt).
+func Extract(t *Trace) Stats {
+	reads, writes := t.ByOp()
+	s := Stats{
+		Read:     ExtractDirStats(reads.Requests),
+		Write:    ExtractDirStats(writes.Requests),
+		Duration: t.Duration(),
+	}
+	total := s.Read.Count + s.Write.Count
+	if total > 0 {
+		s.ReadRatio = float64(s.Read.Count) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+// Package trace defines the I/O request record shared by the workload
+// generators, the NVMe-oF stack, and the SRC workload monitor, together
+// with trace containers, statistics extraction (the inputs of the paper's
+// feature extractor, Sec. III-B), transforms, and CSV round-tripping.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"srcsim/internal/sim"
+)
+
+// Op is the I/O direction of a request.
+type Op uint8
+
+// Request operation kinds.
+const (
+	Read Op = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one block-level I/O operation. LBA and Size are in bytes
+// (LBA is the byte offset of the first accessed block); Arrival is the
+// submission time at the initiator.
+type Request struct {
+	ID      uint64
+	Op      Op
+	LBA     uint64
+	Size    int
+	Arrival sim.Time
+	// Initiator and Target identify the issuing and serving node for
+	// multi-node cluster traces; both are zero for single-device traces.
+	Initiator int
+	Target    int
+}
+
+// End returns the byte offset one past the last accessed byte.
+func (r Request) End() uint64 { return r.LBA + uint64(r.Size) }
+
+// Overlaps reports whether two requests touch any common byte; the SSQ
+// consistency check uses this to pin dependent requests to one queue.
+func (r Request) Overlaps(o Request) bool {
+	return r.LBA < o.End() && o.LBA < r.End()
+}
+
+// Trace is a time-ordered sequence of requests.
+type Trace struct {
+	Requests []Request
+}
+
+// Len returns the number of requests.
+func (t *Trace) Len() int { return len(t.Requests) }
+
+// Sort orders the requests by (Arrival, ID).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Requests, func(i, j int) bool {
+		a, b := t.Requests[i], t.Requests[j]
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Duration returns the arrival span from the first to the last request.
+func (t *Trace) Duration() sim.Time {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival - t.Requests[0].Arrival
+}
+
+// Filter returns a new trace containing the requests for which keep
+// returns true.
+func (t *Trace) Filter(keep func(Request) bool) *Trace {
+	out := &Trace{}
+	for _, r := range t.Requests {
+		if keep(r) {
+			out.Requests = append(out.Requests, r)
+		}
+	}
+	return out
+}
+
+// ByOp splits the trace into its read and write sub-traces.
+func (t *Trace) ByOp() (reads, writes *Trace) {
+	reads = t.Filter(func(r Request) bool { return r.Op == Read })
+	writes = t.Filter(func(r Request) bool { return r.Op == Write })
+	return reads, writes
+}
+
+// Window returns the requests with Arrival in [from, to).
+func (t *Trace) Window(from, to sim.Time) *Trace {
+	return t.Filter(func(r Request) bool { return r.Arrival >= from && r.Arrival < to })
+}
+
+// Merge interleaves t with other into a new time-ordered trace.
+func (t *Trace) Merge(other *Trace) *Trace {
+	out := &Trace{Requests: make([]Request, 0, len(t.Requests)+len(other.Requests))}
+	out.Requests = append(out.Requests, t.Requests...)
+	out.Requests = append(out.Requests, other.Requests...)
+	out.Sort()
+	return out
+}
+
+// ScaleTime multiplies every arrival time by factor, changing workload
+// intensity while preserving the arrival pattern's shape.
+func (t *Trace) ScaleTime(factor float64) *Trace {
+	if factor <= 0 {
+		panic(fmt.Sprintf("trace: non-positive time scale %v", factor))
+	}
+	out := &Trace{Requests: append([]Request(nil), t.Requests...)}
+	for i := range out.Requests {
+		out.Requests[i].Arrival = sim.Time(float64(out.Requests[i].Arrival) * factor)
+	}
+	return out
+}
+
+// TotalBytes returns the sum of request sizes.
+func (t *Trace) TotalBytes() int64 {
+	var s int64
+	for _, r := range t.Requests {
+		s += int64(r.Size)
+	}
+	return s
+}
