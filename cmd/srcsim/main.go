@@ -9,7 +9,13 @@
 //	srcsim -experiment table4 [-seconds 0.08]
 //	srcsim -experiment fig10 [-seconds 0.06]
 //	srcsim -experiment fig2
-//	srcsim -trace my.csv            (replay a tracegen CSV under both modes)
+//	srcsim -replay my.csv           (replay a tracegen CSV under both modes)
+//
+// Observability (any experiment or replay):
+//
+//	-metrics out.json         write a metrics-registry snapshot
+//	-trace out.trace.json     write a Chrome trace (chrome://tracing, Perfetto)
+//	-progress 100ms           periodic status line on stderr (sim-time interval)
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"srcsim/internal/core"
 	"srcsim/internal/harness"
 	"srcsim/internal/netsim"
+	"srcsim/internal/obs"
+	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 )
 
@@ -35,12 +43,64 @@ func main() {
 	seconds := flag.Float64("seconds", 0.06, "trace length in seconds for fig10/table4")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	trainCount := flag.Int("train", 1500, "per-direction request count for TPM training runs")
-	traceFile := flag.String("trace", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
+	replayFile := flag.String("replay", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
 	cc := flag.String("cc", "dcqcn", "congestion control: dcqcn | timely | none")
-	format := flag.String("format", "csv", "trace file format for -trace: csv (tracegen) | msr (MSR Cambridge / SNIA)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -trace replays")
+	format := flag.String("format", "csv", "trace file format for -replay: csv (tracegen) | msr (MSR Cambridge / SNIA)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -replay runs")
 	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
+	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr every interval of sim time (e.g. 100ms; 0 disables)")
 	flag.Parse()
+
+	// Shared observability sinks, attached to every cluster run via the
+	// harness spec mods; nil values keep all hooks no-ops.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	withObs := func(s *cluster.Spec) {
+		s.Metrics = reg
+		s.Trace = tracer
+		if *progressEvery > 0 {
+			s.Progress = os.Stderr
+			s.ProgressEvery = sim.Time(*progressEvery)
+		}
+	}
+	writeObs := func() {
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			snap := reg.Snapshot()
+			fmt.Fprintf(os.Stderr, "wrote %d metric series to %s\n", snap.NumSeries(), *metricsOut)
+		}
+		if tracer != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace events (%d dropped) to %s\n",
+				tracer.Len(), tracer.Dropped(), *traceOut)
+		}
+	}
 
 	var ccAlg netsim.CCAlg
 	switch *cc {
@@ -83,8 +143,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trained on %d samples in %v\n", len(samples), time.Since(start))
 	}
 
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,7 +163,7 @@ func main() {
 		}
 		spec := harness.CongestionSpec()
 		spec.Net.CC = ccAlg
-		base, src, err := cluster.CompareModes(spec, tpm, tr, nil)
+		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, withObs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,12 +178,13 @@ func main() {
 				r.Mode, r.MeanReadGbps, r.MeanWriteGbps, r.AggregatedGbps,
 				r.ReadLatencyP50Ms, r.ReadLatencyP99Ms, r.TotalCNPs)
 		}
+		writeObs()
 		return
 	}
 
 	switch *experiment {
 	case "fig7":
-		res, err := harness.Fig7ThroughputCC(tpm, *requests, *seed, ccAlg)
+		res, err := harness.Fig7ThroughputCC(tpm, *requests, *seed, ccAlg, withObs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,13 +192,13 @@ func main() {
 		fmt.Println()
 		harness.FprintFig8(os.Stdout, res)
 	case "fig10":
-		rows, err := harness.Fig10Intensity(tpm, *seconds, *seed)
+		rows, err := harness.Fig10Intensity(tpm, *seconds, *seed, withObs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		harness.FprintFig10(os.Stdout, rows)
 	case "table4":
-		rows, err := harness.TableIV(tpm, nil, *seconds, *seed)
+		rows, err := harness.TableIV(tpm, nil, *seconds, *seed, withObs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,4 +206,5 @@ func main() {
 	default:
 		log.Fatalf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
 	}
+	writeObs()
 }

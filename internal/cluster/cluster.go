@@ -9,11 +9,13 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 
 	"srcsim/internal/core"
 	"srcsim/internal/netsim"
 	"srcsim/internal/nvme"
 	"srcsim/internal/nvmeof"
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/stats"
@@ -101,6 +103,21 @@ type Spec struct {
 	// TXQCap bounds in-flight read data per target in bytes (0 uses
 	// nvmeof.DefaultTXQCap; negative disables CQ backpressure).
 	TXQCap int64
+
+	// Metrics, when non-nil, receives counters/gauges/histograms from
+	// every instrumented component and enables engine profiling; the
+	// snapshot lands in Result.Metrics. Nil (the default) keeps all hooks
+	// no-ops.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records sim-time events (ECN marks, PFC
+	// pauses, DCQCN throttle spans, SSD GC, SRC adjustments) for Chrome
+	// trace export. The run appears as one trace "process" named after
+	// the mode. Nil disables tracing with zero overhead.
+	Trace *obs.Tracer
+	// Progress, when non-nil, gets a one-line status report every
+	// ProgressEvery of sim time (default 100 ms) during Run.
+	Progress      io.Writer
+	ProgressEvery sim.Time
 }
 
 func (s Spec) withDefaults() Spec {
@@ -163,6 +180,9 @@ type Cluster struct {
 
 	completed int
 	total     int
+
+	// sc is the run's trace scope (nil when Spec.Trace is nil).
+	sc *obs.Scope
 }
 
 // New builds a cluster from the spec.
@@ -176,10 +196,18 @@ func New(spec Spec) (*Cluster, error) {
 	}
 
 	eng := sim.NewEngine()
+	if spec.Metrics != nil {
+		eng.EnableProfiling()
+	}
 	net, err := netsim.NewNetwork(eng, spec.Net)
 	if err != nil {
 		return nil, err
 	}
+	// One trace process per run, named after the mode, so CompareModes
+	// runs sharing a tracer land in distinct Chrome processes.
+	sc := spec.Trace.Scope(spec.Mode.String())
+	modeL := obs.L("mode", spec.Mode.String())
+	net.Instrument(spec.Metrics, sc, modeL)
 
 	var hosts []*netsim.Node
 	need := spec.Initiators + spec.Targets
@@ -203,6 +231,7 @@ func New(spec Spec) (*Cluster, error) {
 		readBits:  stats.NewTimeSeries(spec.MetricBucket),
 		writeBits: stats.NewTimeSeries(spec.MetricBucket),
 		pauses:    stats.NewTimeSeries(spec.MetricBucket),
+		sc:        sc,
 	}
 
 	for i := 0; i < spec.Initiators; i++ {
@@ -250,6 +279,11 @@ func New(spec Spec) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			dev.Trace = sc
+			dev.TraceName = fmt.Sprintf("t%d/d%d", tIdx, d)
+			if ssq := tn.SSQs[d]; ssq != nil {
+				ssq.Instrument(spec.Metrics, modeL)
+			}
 			tn.Devs = append(tn.Devs, dev)
 			units = append(units, nvmeof.Unit{Dev: dev, Arb: arb})
 		}
@@ -288,6 +322,7 @@ func New(spec Spec) (*Cluster, error) {
 				group = append(group, s)
 			}
 			ctl := core.NewController(srcCfg, spec.TPM, group)
+			ctl.Instrument(spec.Metrics, sc, fmt.Sprintf("t%d", tIdx), modeL)
 			tn.Ctl = ctl
 			target := tn.T
 			tn.T.OnCommandArrive = func(req trace.Request, at sim.Time) {

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"srcsim/internal/core"
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/stats"
 	"srcsim/internal/trace"
@@ -54,6 +55,10 @@ type Result struct {
 
 	// WeightEvents merges all SRC adjustments (empty unless DCQCN-SRC).
 	WeightEvents []core.AdjustEvent
+
+	// Metrics is the registry snapshot taken after the end-of-run flush;
+	// nil unless Spec.Metrics was set.
+	Metrics *obs.Snapshot
 }
 
 // Run drives the trace through the cluster and collects metrics. It can
@@ -123,12 +128,30 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		lastCNPs = cur
 	})
 
+	// Periodic progress line (stderr by convention). Pure reporting: it
+	// reads counters but never mutates sim state, so it cannot perturb
+	// determinism of the run itself.
+	stopProgress := func() {}
+	if spec.Progress != nil {
+		every := spec.ProgressEvery
+		if every <= 0 {
+			every = 100 * sim.Millisecond
+		}
+		stopProgress = c.Eng.Ticker(every, func() {
+			fmt.Fprintf(spec.Progress,
+				"srcsim: [%s] t=%.0fms %d/%d done events=%d heap=%d cnps=%d\n",
+				spec.Mode, c.Eng.Now().Millis(), c.completed, c.total,
+				c.Eng.Processed, c.Eng.HeapHighWater(), c.Net.CNPsSent)
+		})
+	}
+
 	horizon := spec.Horizon
 	if horizon <= 0 {
 		horizon = 3*tr.Duration() + 200*sim.Millisecond
 	}
 	c.Eng.Run(horizon)
 	stopPause()
+	stopProgress()
 	// Drain any residual non-ticker events up to the horizon so the
 	// counters settle (Stop() may have left a few scheduled).
 	duration := c.Eng.Now()
@@ -198,7 +221,55 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	}
 	res.TotalECNMarks = c.Net.ECNMarks
 	res.TotalPFCPauses = c.Net.PFCPauses
+
+	if reg := spec.Metrics; reg != nil {
+		c.flushMetrics(reg)
+		snap := reg.Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
+}
+
+// flushMetrics folds end-of-run component counters and the engine
+// profile into the registry (live hot-path series were already fed
+// during the run).
+func (c *Cluster) flushMetrics(reg *obs.Registry) {
+	modeL := obs.L("mode", c.Spec.Mode.String())
+	for _, t := range c.Targets {
+		for _, dev := range t.Devs {
+			dev.CollectMetrics(reg, modeL)
+		}
+		t.T.CollectMetrics(reg, modeL)
+	}
+	var sent, recvd, delivered uint64
+	for _, ini := range c.Initiators {
+		sent += ini.Node.NIC.BytesSent
+		recvd += ini.Node.NIC.BytesReceived
+		delivered += ini.Node.NIC.MsgsDelivered
+	}
+	for _, t := range c.Targets {
+		sent += t.T.Node.NIC.BytesSent
+		recvd += t.T.Node.NIC.BytesReceived
+		delivered += t.T.Node.NIC.MsgsDelivered
+	}
+	reg.Counter("netsim", "nic_bytes_sent", modeL).Add(float64(sent))
+	reg.Counter("netsim", "nic_bytes_received", modeL).Add(float64(recvd))
+	reg.Counter("netsim", "nic_msgs_delivered", modeL).Add(float64(delivered))
+
+	ps := c.Eng.ProfileStats()
+	reg.Counter("sim", "events_processed", modeL).Add(float64(ps.EventsProcessed))
+	reg.Gauge("sim", "heap_high_water", modeL).SetMax(float64(ps.HeapHighWater))
+	reg.Gauge("sim", "wall_per_sim_second", modeL).Set(ps.WallPerSimSecond)
+	// Per-callback-site timings, bounded to the top sites by wall time.
+	sites := ps.Sites
+	if len(sites) > 10 {
+		sites = sites[:10]
+	}
+	for _, s := range sites {
+		l := []obs.Label{modeL, obs.L("site", s.Name)}
+		reg.Counter("sim", "site_calls", l...).Add(float64(s.Count))
+		reg.Gauge("sim", "site_wall_ms", l...).Set(s.Wall.Seconds() * 1e3)
+	}
 }
 
 // Summary is the machine-readable digest of a Result.
@@ -218,6 +289,10 @@ type Summary struct {
 	WriteLatP50Ms  float64 `json:"write_latency_p50_ms"`
 	WriteLatP99Ms  float64 `json:"write_latency_p99_ms"`
 	WeightEvents   int     `json:"weight_events"`
+
+	// Metrics is present only when the run had a registry attached, so
+	// uninstrumented runs keep their historical JSON shape byte-for-byte.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Summary digests the result for JSON output.
@@ -238,6 +313,7 @@ func (r *Result) Summary() Summary {
 		WriteLatP50Ms:  r.WriteLatencyP50Ms,
 		WriteLatP99Ms:  r.WriteLatencyP99Ms,
 		WeightEvents:   len(r.WeightEvents),
+		Metrics:        r.Metrics,
 	}
 }
 
@@ -250,10 +326,16 @@ func (r *Result) WriteJSON(w io.Writer) error {
 
 // CompareModes runs the same trace under DCQCN-only and DCQCN-SRC
 // cluster specs (identical otherwise) and returns both results — the
-// paper's standard A/B protocol (Sec. IV-B).
-func CompareModes(spec Spec, tpm *core.TPM, tr *trace.Trace, assign Assign) (baseline, src *Result, err error) {
+// paper's standard A/B protocol (Sec. IV-B). Optional mods run on each
+// finalized spec (mode already set), letting callers attach
+// observability or progress output to both runs without changing the
+// experiment.
+func CompareModes(spec Spec, tpm *core.TPM, tr *trace.Trace, assign Assign, mods ...func(*Spec)) (baseline, src *Result, err error) {
 	b := spec
 	b.Mode = DCQCNOnly
+	for _, m := range mods {
+		m(&b)
+	}
 	cb, err := New(b)
 	if err != nil {
 		return nil, nil, err
@@ -264,6 +346,9 @@ func CompareModes(spec Spec, tpm *core.TPM, tr *trace.Trace, assign Assign) (bas
 	s := spec
 	s.Mode = DCQCNSRC
 	s.TPM = tpm
+	for _, m := range mods {
+		m(&s)
+	}
 	cs, err := New(s)
 	if err != nil {
 		return nil, nil, err

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"srcsim/internal/nvme"
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 )
 
@@ -102,6 +103,38 @@ type Controller struct {
 	lastEventAt sim.Time
 	lastDemand  float64
 	haveEvent   bool
+
+	obs *ctlObs
+}
+
+// ctlObs holds observability handles resolved by Instrument; nil when
+// observability is off.
+type ctlObs struct {
+	sc          *obs.Scope
+	name        string
+	rateEvents  *obs.Counter
+	suppressed  *obs.Counter
+	adjustments *obs.Counter
+	predictions *obs.Counter
+	weightRatio *obs.Gauge
+}
+
+// Instrument attaches a metrics registry and/or trace scope to the
+// controller (either may be nil). name distinguishes controllers when a
+// cluster runs several targets; it prefixes trace track names.
+func (c *Controller) Instrument(reg *obs.Registry, sc *obs.Scope, name string, labels ...obs.Label) {
+	if reg == nil && !sc.Enabled() {
+		return
+	}
+	c.obs = &ctlObs{
+		sc:          sc,
+		name:        name,
+		rateEvents:  reg.Counter("core", "rate_events", labels...),
+		suppressed:  reg.Counter("core", "rate_events_suppressed", labels...),
+		adjustments: reg.Counter("core", "adjustments", labels...),
+		predictions: reg.Counter("core", "tpm_predictions", labels...),
+		weightRatio: reg.Gauge("core", "weight_ratio_last", labels...),
+	}
 }
 
 // NewController wires a controller around a trained TPM and a target's
@@ -123,7 +156,7 @@ func NewController(cfg ControllerConfig, tpm *TPM, ssq WeightSink) *Controller {
 func (c *Controller) PredictWeightRatio(rBps float64, ch []float64) int {
 	w := 1
 	best := 1
-	tputR, _ := c.TPM.Predict(ch, float64(w))
+	tputR, _ := c.predict(ch, float64(w))
 	tputR *= c.Cfg.Scale
 	if tputR < rBps {
 		return 1
@@ -135,7 +168,7 @@ func (c *Controller) PredictWeightRatio(rBps float64, ch []float64) int {
 		if w > c.Cfg.MaxW {
 			break
 		}
-		tputR, _ = c.TPM.Predict(ch, float64(w))
+		tputR, _ = c.predict(ch, float64(w))
 		tputR *= c.Cfg.Scale
 		if dis := math.Abs(tputR - rBps); dis < minDis {
 			minDis = dis
@@ -150,16 +183,33 @@ func (c *Controller) PredictWeightRatio(rBps float64, ch []float64) int {
 	return best
 }
 
+// predict wraps TPM.Predict with the prediction counter.
+func (c *Controller) predict(ch []float64, w float64) (tputR, tputW float64) {
+	if c.obs != nil {
+		c.obs.predictions.Inc()
+	}
+	return c.TPM.Predict(ch, w)
+}
+
 // OnRateEvent is the "DynamicAdjustment" entry point: DCQCN notifies a
 // new demanded data sending rate (bits/s) at time at — a pause event when
 // lower than before, a retrieval event when higher. The controller
 // profiles the preceding window, picks w, and applies it to the SSQ.
 func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
+	if c.obs != nil {
+		c.obs.rateEvents.Inc()
+	}
 	if c.haveEvent {
 		if at-c.lastEventAt < c.Cfg.MinEventGap {
+			if c.obs != nil {
+				c.obs.suppressed.Inc()
+			}
 			return
 		}
 		if c.lastDemand > 0 && math.Abs(demandedBps-c.lastDemand)/c.lastDemand < c.Cfg.RateEpsilon {
+			if c.obs != nil {
+				c.obs.suppressed.Inc()
+			}
 			return
 		}
 	}
@@ -169,12 +219,21 @@ func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
 
 	ch := c.Monitor.Snapshot(at)
 	w := c.PredictWeightRatio(demandedBps, ch)
-	pr, _ := c.TPM.Predict(ch, float64(w))
+	pr, _ := c.predict(ch, float64(w))
 	pr *= c.Cfg.Scale
 	c.SSQ.SetWeights(1, w)
 	c.Events = append(c.Events, AdjustEvent{
 		At: at, DemandedBps: demandedBps, WeightRatio: w, PredictedRBp: pr,
 	})
+	if o := c.obs; o != nil {
+		o.adjustments.Inc()
+		o.weightRatio.Set(float64(w))
+		o.sc.Instant(at, "core", "adjust "+o.name,
+			obs.Num("w", float64(w)),
+			obs.Num("demanded_gbps", demandedBps/1e9),
+			obs.Num("predicted_read_gbps", pr/1e9))
+		o.sc.Counter(at, "core", "weight_ratio "+o.name, float64(w))
+	}
 }
 
 // CurrentWeightRatio returns the SSQ's active w.

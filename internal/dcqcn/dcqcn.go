@@ -12,6 +12,7 @@ package dcqcn
 import (
 	"fmt"
 
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 )
 
@@ -128,6 +129,10 @@ type RP struct {
 	// OnRate, if set, observes every rate change (old, new in bits/s).
 	OnRate func(oldRate, newRate float64)
 
+	// Obs, if set, feeds the observability layer (metrics + timeline);
+	// nil costs one pointer test per rate change.
+	Obs *RPObs
+
 	rc, rt float64
 	alpha  float64
 
@@ -169,8 +174,73 @@ func (rp *RP) Alpha() float64 { return rp.alpha }
 
 // notify reports a rate change.
 func (rp *RP) notify(old float64) {
-	if rp.rc != old && rp.OnRate != nil {
+	if rp.rc == old {
+		return
+	}
+	if rp.OnRate != nil {
 		rp.OnRate(old, rp.rc)
+	}
+	if rp.Obs != nil {
+		rp.Obs.onRate(rp, old)
+	}
+}
+
+// RPObs is the per-RP instrumentation hookup: shared counters from the
+// metrics registry plus a trace scope for the rate timeline. The fabric
+// attaches one per flow when observability is on.
+type RPObs struct {
+	// Scope receives the rate counter track, CNP instants, and
+	// "throttled" spans (line-rate departure to full recovery).
+	Scope *obs.Scope
+	// Name labels this RP's trace events, e.g. "flow3 t0>i0".
+	Name string
+
+	// CNPs, RateCuts, and RateIncreases are registry counters, usually
+	// shared across every flow of a fabric.
+	CNPs          *obs.Counter
+	RateCuts      *obs.Counter
+	RateIncreases *obs.Counter
+	// CutDepth observes the percentage of rate removed per CNP.
+	CutDepth *obs.Histogram
+
+	throttled      bool
+	throttledSince sim.Time
+}
+
+// onCNP records the congestion signal itself; rate movement is handled
+// by onRate via notify.
+func (o *RPObs) onCNP(rp *RP, old float64) {
+	o.CNPs.Inc()
+	if old > 0 {
+		o.CutDepth.Observe((1 - rp.rc/old) * 100)
+	}
+	if o.Scope.Enabled() {
+		o.Scope.Instant(rp.eng.Now(), "dcqcn", "cnp "+o.Name)
+	}
+}
+
+// onRate tracks cut/increase counters, the rate timeline, and the
+// throttled span covering each congestion episode.
+func (o *RPObs) onRate(rp *RP, old float64) {
+	if rp.rc < old {
+		o.RateCuts.Inc()
+	} else {
+		o.RateIncreases.Inc()
+	}
+	now := rp.eng.Now()
+	if o.Scope.Enabled() {
+		o.Scope.Counter(now, "dcqcn", "rate_gbps "+o.Name, rp.rc/1e9)
+	}
+	line := rp.cfg.LineRate
+	switch {
+	case !o.throttled && rp.rc < old && old >= line:
+		o.throttled = true
+		o.throttledSince = now
+	case o.throttled && rp.rc >= line:
+		o.throttled = false
+		if o.Scope.Enabled() {
+			o.Scope.Span("dcqcn", "throttled "+o.Name, o.throttledSince, now)
+		}
 	}
 }
 
@@ -203,6 +273,9 @@ func (rp *RP) OnCNP() {
 	rp.timeStage, rp.byteStage = 0, 0
 	rp.bytesSinceInc = 0
 	rp.RateDecreases++
+	if rp.Obs != nil {
+		rp.Obs.onCNP(rp, old)
+	}
 	rp.armTimers()
 	rp.notify(old)
 }

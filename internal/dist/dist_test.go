@@ -2,6 +2,7 @@ package dist
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -259,7 +260,9 @@ func TestFitMMPP2ClampsInfeasible(t *testing.T) {
 }
 
 // Property: fitted processes always generate positive inter-arrivals with
-// mean close to target across a random selection of feasible targets.
+// mean close to target across a random selection of targets, including
+// combinations beyond the ACF1 feasibility frontier (which the fit
+// clamps). The quick source is seeded so CI never rolls fresh dice.
 func TestPropertyFitMMPP2(t *testing.T) {
 	f := func(seedRaw uint32, scvRaw, rhoRaw uint8) bool {
 		mean := 1 + float64(seedRaw%1000)
@@ -267,14 +270,21 @@ func TestPropertyFitMMPP2(t *testing.T) {
 		rho := float64(rhoRaw%35) / 100    // 0 .. 0.34
 		p, err := FitMMPP2(mean, scv, rho)
 		if err != nil {
+			t.Logf("fit failed for mean=%v scv=%v rho=%v: %v", mean, scv, rho, err)
 			return false
 		}
 		m := &MMPP2{Lambda1: p.Lambda1, Lambda2: p.Lambda2, R1: p.R1, R2: p.R2}
 		gm, _, _ := m.Moments()
 		return math.Abs(gm-mean)/mean < 0.1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+	// The exact input that used to fail: rho 0.30 demanded at scv 1.3,
+	// whose frontier is ~0.115 — the fit must clamp and still converge.
+	if !f(0x3c766baf, 0x79, 0x64) {
+		t.Fatal("frontier-clamped fit did not converge")
 	}
 }
 

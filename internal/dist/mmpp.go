@@ -155,8 +155,11 @@ func (p MMPP2Params) New(rng *sim.RNG) *MMPP2 {
 // trace, then regenerate a bursty synthetic trace from the fitted MAP.
 //
 // Feasibility: an MMPP(2) cannot represent scv < 1 or negative
-// correlation, so targets are clamped to scv ≥ 1, rho1 ∈ [0, 0.45]. For
-// scv very close to 1 the fit degenerates to (nearly) a Poisson process.
+// correlation, and its lag-1 autocorrelation is bounded by
+// (scv-1)/(2·scv) — the MAP(2) frontier, which vanishes as scv → 1.
+// Targets are clamped to scv ≥ 1 and rho1 ∈ [0, min(0.45, frontier)].
+// For scv very close to 1 the fit degenerates to (nearly) a Poisson
+// process.
 func FitMMPP2(mean, scv, rho1 float64) (MMPP2Params, error) {
 	if mean <= 0 {
 		return MMPP2Params{}, fmt.Errorf("dist: FitMMPP2 mean %v must be positive", mean)
@@ -168,6 +171,9 @@ func FitMMPP2(mean, scv, rho1 float64) (MMPP2Params, error) {
 	}
 	if rho1 < 0 {
 		rho1 = 0
+	}
+	if max := (scv - 1) / (2 * scv); rho1 > max {
+		rho1 = max
 	}
 	if rho1 > 0.45 {
 		rho1 = 0.45

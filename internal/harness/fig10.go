@@ -54,11 +54,11 @@ func Fig10Trace(level workload.IntensityLevel, seconds float64, seed uint64) *tr
 // The expected shape: no visible difference under light load (queues are
 // empty so WRR cannot act) and a clear SRC write/aggregate win under
 // moderate and heavy load.
-func Fig10Intensity(tpm *core.TPM, seconds float64, seed uint64) ([]Fig10Row, error) {
+func Fig10Intensity(tpm *core.TPM, seconds float64, seed uint64, mods ...func(*cluster.Spec)) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, level := range []workload.IntensityLevel{workload.Light, workload.Moderate, workload.Heavy} {
 		tr := Fig10Trace(level, seconds, seed+uint64(level))
-		base, src, err := cluster.CompareModes(CongestionSpec(), tpm, tr, nil)
+		base, src, err := cluster.CompareModes(CongestionSpec(), tpm, tr, nil, mods...)
 		if err != nil {
 			return nil, fmt.Errorf("harness: Fig10 %v: %w", level, err)
 		}

@@ -30,21 +30,22 @@ func (c *CongestionResult) Improvement() float64 {
 // DCQCN-SRC. The result carries the per-millisecond read/write
 // throughput series (Fig. 7) and pause-number series (Fig. 8). perDir is
 // the write-request count (reads get 2×).
-func Fig7Throughput(tpm *core.TPM, perDir int, seed uint64) (*CongestionResult, error) {
-	return Fig7ThroughputCC(tpm, perDir, seed, netsim.CCDCQCN)
+func Fig7Throughput(tpm *core.TPM, perDir int, seed uint64, mods ...func(*cluster.Spec)) (*CongestionResult, error) {
+	return Fig7ThroughputCC(tpm, perDir, seed, netsim.CCDCQCN, mods...)
 }
 
 // Fig7ThroughputCC is Fig7Throughput under a chosen congestion-control
 // algorithm — SRC consumes only rate events, so the same experiment runs
-// unchanged over TIMELY (an extension beyond the paper).
-func Fig7ThroughputCC(tpm *core.TPM, perDir int, seed uint64, cc netsim.CCAlg) (*CongestionResult, error) {
+// unchanged over TIMELY (an extension beyond the paper). Optional mods
+// adjust each run's spec (e.g. attach a metrics registry or tracer).
+func Fig7ThroughputCC(tpm *core.TPM, perDir int, seed uint64, cc netsim.CCAlg, mods ...func(*cluster.Spec)) (*CongestionResult, error) {
 	tr, err := VDITrace(seed, perDir)
 	if err != nil {
 		return nil, err
 	}
 	spec := CongestionSpec()
 	spec.Net.CC = cc
-	base, src, err := cluster.CompareModes(spec, tpm, tr, nil)
+	base, src, err := cluster.CompareModes(spec, tpm, tr, nil, mods...)
 	if err != nil {
 		return nil, err
 	}

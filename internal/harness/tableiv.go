@@ -42,7 +42,7 @@ type TableIVRow struct {
 // The fixed total offered read load is 1.4x the link rate — calibrated
 // so the 2-target case saturates each device while the 4-target case
 // leaves per-target queues thin (the paper's WRR-fade regime).
-func TableIV(tpm *core.TPM, cases []IncastCase, seconds float64, seed uint64) ([]TableIVRow, error) {
+func TableIV(tpm *core.TPM, cases []IncastCase, seconds float64, seed uint64, mods ...func(*cluster.Spec)) ([]TableIVRow, error) {
 	if len(cases) == 0 {
 		cases = DefaultIncastCases()
 	}
@@ -68,7 +68,7 @@ func TableIV(tpm *core.TPM, cases []IncastCase, seconds float64, seed uint64) ([
 		spec := CongestionSpec()
 		spec.Targets = cs.Targets
 		spec.Initiators = cs.Initiators
-		base, src, err := cluster.CompareModes(spec, tpm, tr, nil)
+		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, mods...)
 		if err != nil {
 			return nil, fmt.Errorf("harness: TableIV %v: %w", cs, err)
 		}

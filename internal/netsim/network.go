@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 )
 
@@ -17,11 +18,54 @@ type Network struct {
 	flows map[int]*Flow
 	nextF int
 
+	obs *netObs
+
 	// Global counters.
 	ECNMarks   uint64
 	PFCPauses  uint64
 	PFCResumes uint64
 	CNPsSent   uint64
+}
+
+// netObs holds the fabric's resolved instrumentation handles; nil when
+// observability is off, so hot paths pay a single pointer test.
+type netObs struct {
+	sc *obs.Scope
+
+	ecnMarks   *obs.Counter
+	pfcPauses  *obs.Counter
+	pfcResumes *obs.Counter
+	cnpsSent   *obs.Counter
+	queuePeak  *obs.Gauge
+
+	// Shared DCQCN per-flow handles (see dcqcn.RPObs).
+	rpCNPs      *obs.Counter
+	rpCuts      *obs.Counter
+	rpIncreases *obs.Counter
+	rpCutDepth  *obs.Histogram
+}
+
+// Instrument attaches the fabric to a metrics registry and trace scope.
+// Either may be nil. Call before traffic starts: flows created after
+// this call inherit DCQCN instrumentation; flows created before do not.
+// With both arguments nil the call is a no-op and the fabric stays on
+// its zero-overhead path.
+func (n *Network) Instrument(reg *obs.Registry, sc *obs.Scope, labels ...obs.Label) {
+	if reg == nil && !sc.Enabled() {
+		return
+	}
+	n.obs = &netObs{
+		sc:          sc,
+		ecnMarks:    reg.Counter("netsim", "ecn_marks", labels...),
+		pfcPauses:   reg.Counter("netsim", "pfc_pauses", labels...),
+		pfcResumes:  reg.Counter("netsim", "pfc_resumes", labels...),
+		cnpsSent:    reg.Counter("netsim", "cnps_sent", labels...),
+		queuePeak:   reg.Gauge("netsim", "port_queue_peak_bytes", labels...),
+		rpCNPs:      reg.Counter("dcqcn", "cnps_received", labels...),
+		rpCuts:      reg.Counter("dcqcn", "rate_cuts", labels...),
+		rpIncreases: reg.Counter("dcqcn", "rate_increases", labels...),
+		rpCutDepth:  reg.Histogram("dcqcn", "cut_depth_pct", labels...),
+	}
 }
 
 // NewNetwork builds an empty fabric on eng.
@@ -197,10 +241,20 @@ func (p *Port) enqueueData(pkt *Packet) {
 		if net.rng.Float64() < net.Cfg.DCQCN.MarkProbability(p.QueueBytes) {
 			pkt.ECN = true
 			net.ECNMarks++
+			if o := net.obs; o != nil {
+				o.ecnMarks.Inc()
+				if o.sc.Enabled() {
+					o.sc.Instant(net.eng.Now(), "netsim", "ecn_mark "+p.node.Name,
+						obs.Num("queue_bytes", float64(p.QueueBytes)))
+				}
+			}
 		}
 	}
 	p.dataQ = append(p.dataQ, pkt)
 	p.QueueBytes += int64(pkt.Size)
+	if o := net.obs; o != nil {
+		o.queuePeak.SetMax(float64(p.QueueBytes))
+	}
 	if pkt.ingress != nil {
 		node := p.node
 		in := pkt.ingress.index
@@ -219,8 +273,14 @@ func (node *Node) sendPFC(in *Port, kind Kind) {
 	net := node.net
 	if kind == PauseFrame {
 		net.PFCPauses++
+		if net.obs != nil {
+			net.obs.pfcPauses.Inc()
+		}
 	} else {
 		net.PFCResumes++
+		if net.obs != nil {
+			net.obs.pfcResumes.Inc()
+		}
 	}
 	in.enqueueCtrl(&Packet{
 		Src: node.ID, Dst: in.peer.node.ID,
@@ -300,7 +360,12 @@ func (node *Node) receive(pkt *Packet, in *Port) {
 	case ResumeFrame:
 		if in.paused {
 			in.paused = false
-			in.PausedTime += node.net.eng.Now() - in.pausedAt
+			now := node.net.eng.Now()
+			in.PausedTime += now - in.pausedAt
+			if o := node.net.obs; o != nil && o.sc.Enabled() {
+				o.sc.Span("netsim", fmt.Sprintf("pfc_pause %s:p%d", node.Name, in.index),
+					in.pausedAt, now)
+			}
 			in.trySend()
 		}
 		return

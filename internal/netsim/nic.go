@@ -120,6 +120,18 @@ func (n *Network) NewFlow(src, dst *Node) *Flow {
 	n.nextF++
 	n.flows[f.ID] = f
 	src.NIC.flows = append(src.NIC.flows, f)
+	if o := n.obs; o != nil {
+		if rp, ok := f.RP.(*dcqcn.RP); ok {
+			rp.Obs = &dcqcn.RPObs{
+				Scope:         o.sc,
+				Name:          fmt.Sprintf("flow%d %s>%s", f.ID, src.Name, dst.Name),
+				CNPs:          o.rpCNPs,
+				RateCuts:      o.rpCuts,
+				RateIncreases: o.rpIncreases,
+				CutDepth:      o.rpCutDepth,
+			}
+		}
+	}
 	return f
 }
 
@@ -242,6 +254,9 @@ func (nic *HostNIC) receive(pkt *Packet) {
 		if pkt.ECN && flow != nil && flow.NP.OnMarkedPacket(net.eng.Now()) {
 			// Send a CNP back to the sender.
 			net.CNPsSent++
+			if net.obs != nil {
+				net.obs.cnpsSent.Inc()
+			}
 			cnp := &Packet{
 				Src: nic.node.ID, Dst: pkt.Src,
 				FlowID: pkt.FlowID, Size: net.Cfg.CtrlPacketSize, Kind: CNP,

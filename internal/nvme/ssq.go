@@ -3,6 +3,7 @@ package nvme
 import (
 	"fmt"
 
+	"srcsim/internal/obs"
 	"srcsim/internal/trace"
 )
 
@@ -49,6 +50,38 @@ type SSQ struct {
 	FetchedReads, FetchedWrites uint64
 	Redirected                  uint64 // consistency-check queue overrides
 	TokenResets                 uint64
+
+	obs *ssqObs
+}
+
+// ssqObs holds registry handles resolved by Instrument; nil when
+// observability is off.
+type ssqObs struct {
+	depth         *obs.Histogram // total SQ occupancy sampled per fetch
+	depthR        *obs.Histogram // RSQ occupancy per fetch
+	depthW        *obs.Histogram // WSQ occupancy per fetch
+	fetchedReads  *obs.Counter
+	fetchedWrites *obs.Counter
+	redirects     *obs.Counter
+	tokenResets   *obs.Counter
+}
+
+// Instrument resolves this SSQ's metric series from reg (nil reg is a
+// no-op). Handles are registry-deduplicated, so SSQs across a flash
+// array sharing labels aggregate into the same series.
+func (s *SSQ) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	s.obs = &ssqObs{
+		depth:         reg.Histogram("nvme", "ssq_depth", labels...),
+		depthR:        reg.Histogram("nvme", "rsq_depth", labels...),
+		depthW:        reg.Histogram("nvme", "wsq_depth", labels...),
+		fetchedReads:  reg.Counter("nvme", "ssq_fetched_reads", labels...),
+		fetchedWrites: reg.Counter("nvme", "ssq_fetched_writes", labels...),
+		redirects:     reg.Counter("nvme", "ssq_redirects", labels...),
+		tokenResets:   reg.Counter("nvme", "ssq_token_resets", labels...),
+	}
 }
 
 type blockRef struct {
@@ -113,6 +146,9 @@ func (s *SSQ) Submit(c *Command) {
 	}
 	if target != natural {
 		s.Redirected++
+		if s.obs != nil {
+			s.obs.redirects.Inc()
+		}
 	}
 	c.queueHint = target
 	for b := first; b <= last; b++ {
@@ -142,6 +178,13 @@ func (s *SSQ) Fetch() *Command {
 	if rEmpty && wEmpty {
 		return nil
 	}
+	if s.obs != nil {
+		// Sample occupancy at the admission decision (SSQ depth, Fig. 5's
+		// x-axis quantity).
+		s.obs.depth.Observe(float64(s.pending))
+		s.obs.depthR.Observe(float64(s.queues[rsqIdx].Len()))
+		s.obs.depthW.Observe(float64(s.queues[wsqIdx].Len()))
+	}
 
 	var c *Command
 	switch {
@@ -156,6 +199,9 @@ func (s *SSQ) Fetch() *Command {
 		if s.rTokens <= 0 && s.wTokens <= 0 {
 			s.rTokens, s.wTokens = s.readWeight, s.writeWeight
 			s.TokenResets++
+			if s.obs != nil {
+				s.obs.tokenResets.Inc()
+			}
 		}
 		// Pick the queue with the larger remaining token fraction for a
 		// smooth interleave; ties favour writes (SRC's priority).
@@ -184,9 +230,15 @@ func (s *SSQ) Fetch() *Command {
 	if c.Op == trace.Read {
 		s.pendingR--
 		s.FetchedReads++
+		if s.obs != nil {
+			s.obs.fetchedReads.Inc()
+		}
 	} else {
 		s.pendingW--
 		s.FetchedWrites++
+		if s.obs != nil {
+			s.obs.fetchedWrites.Inc()
+		}
 	}
 	return c
 }

@@ -22,6 +22,7 @@ import (
 
 	"srcsim/internal/netsim"
 	"srcsim/internal/nvme"
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/trace"
@@ -83,6 +84,9 @@ type Target struct {
 	// paper's Sec. II-B degradation mechanism.
 	txqCap    int64
 	txqCredit int64
+	// txqCreditLow is the credit low-water mark: how close the target
+	// came to (or how deeply it sat at) TXQ exhaustion.
+	txqCreditLow int64
 
 	// Counters.
 	ReadsServed, WritesServed uint64
@@ -111,7 +115,7 @@ func NewTarget(net *netsim.Network, node *netsim.Node, units []Unit, txqCap int6
 		Node: node, Units: units, net: net,
 		dataFlows: make(map[netsim.NodeID]*netsim.Flow),
 		ackFlows:  make(map[netsim.NodeID]*netsim.Flow),
-		txqCap:    txqCap, txqCredit: txqCap,
+		txqCap:    txqCap, txqCredit: txqCap, txqCreditLow: txqCap,
 	}
 	node.NIC.OnMessage = t.onMessage
 	for _, u := range units {
@@ -139,6 +143,9 @@ func (g *txqGate) Admit(c *nvme.Command) bool {
 		// The second clause prevents a request larger than the whole
 		// cap from wedging the pipeline.
 		t.txqCredit -= need
+		if t.txqCredit < t.txqCreditLow {
+			t.txqCreditLow = t.txqCredit
+		}
 		return true
 	}
 	return false
@@ -157,6 +164,24 @@ func (t *Target) returnCredit(n int64) {
 
 // TXQCredit returns the remaining in-flight read-data budget.
 func (t *Target) TXQCredit() int64 { return t.txqCredit }
+
+// TXQCreditLow returns the smallest credit balance ever reached — 0 (or
+// below, for oversize admissions) means the TXQ filled and device
+// completions were parking.
+func (t *Target) TXQCreditLow() int64 { return t.txqCreditLow }
+
+// CollectMetrics folds the target's end-of-run counters into a metrics
+// registry; counters accumulate across targets sharing labels. Nil reg
+// is a no-op.
+func (t *Target) CollectMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("nvmeof", "reads_served", labels...).Add(float64(t.ReadsServed))
+	reg.Counter("nvmeof", "writes_served", labels...).Add(float64(t.WritesServed))
+	reg.Gauge("nvmeof", "txq_credit_low_bytes", labels...).SetMin(float64(t.txqCreditLow))
+	reg.Gauge("nvmeof", "txq_backlog_end_bytes", labels...).SetMax(float64(t.TXQBacklog()))
+}
 
 // unitOf routes an LBA to its array unit.
 func (t *Target) unitOf(lba uint64) Unit {

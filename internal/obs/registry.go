@@ -1,0 +1,308 @@
+// Package obs is the simulation-wide observability layer: a
+// zero-dependency metrics registry (counters, gauges, log₂ histograms)
+// and a sim-time event tracer exportable as Chrome trace-event JSON
+// (chrome://tracing / Perfetto).
+//
+// Every entry point is nil-safe: a nil *Registry hands out nil handles,
+// and nil handles ignore updates, so components can be instrumented
+// unconditionally and pay only a pointer test when observability is off.
+// This is the layer's hard guarantee — with no registry and no tracer
+// attached, instrumented code takes the exact same decisions in the
+// exact same order, preserving the engine's determinism invariant.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"srcsim/internal/stats"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey renders component/name{k=v,...} with labels sorted by key,
+// so the same logical series always resolves to the same handle.
+func seriesKey(component, name string, labels []Label) string {
+	if len(labels) == 0 {
+		return component + "/" + name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(component)
+	b.WriteByte('/')
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically accumulating series. The zero value is
+// usable; a nil Counter ignores updates.
+type Counter struct {
+	v float64
+}
+
+// Add folds delta in; no-op on a nil handle.
+func (c *Counter) Add(delta float64) {
+	if c == nil {
+		return
+	}
+	c.v += delta
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value series with high/low-water convenience setters.
+// A nil Gauge ignores updates.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	g.set = true
+}
+
+// SetMax keeps the largest value ever offered (high-water mark).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v > g.v {
+		g.v = v
+		g.set = true
+	}
+}
+
+// SetMin keeps the smallest value ever offered (low-water mark).
+func (g *Gauge) SetMin(v float64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v < g.v {
+		g.v = v
+		g.set = true
+	}
+}
+
+// Value returns the current value (0 on nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a log₂-bucketed distribution series backed by
+// stats.Histogram. A nil Histogram ignores observations.
+type Histogram struct {
+	h stats.Histogram
+}
+
+// Observe folds one sample in.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.h.Add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Count()
+}
+
+// Quantile estimates the q-th quantile (0 on nil).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Quantile(q)
+}
+
+// Registry resolves metric series to handles by component/name/labels.
+// Handle resolution is mutex-guarded; handle updates are not — the
+// simulation kernel is single-threaded by design, and handles must only
+// be touched from event callbacks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter resolves (creating if absent) a counter series. Returns nil on
+// a nil registry.
+func (r *Registry) Counter(component, name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(component, name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge resolves (creating if absent) a gauge series. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(component, name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(component, name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram resolves (creating if absent) a histogram series. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(component, name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(component, name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// NumSeries returns the number of distinct series (0 on nil).
+func (r *Registry) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}
+
+// HistogramSnapshot is the JSON digest of one histogram series.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry.
+// encoding/json sorts map keys, so marshalling a snapshot is
+// deterministic.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NumSeries returns the number of series captured in the snapshot.
+func (s Snapshot) NumSeries() int {
+	return len(s.Counters) + len(s.Gauges) + len(s.Histograms)
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]float64, len(r.counters))
+		for k, c := range r.counters {
+			snap.Counters[k] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			snap.Gauges[k] = g.v
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			snap.Histograms[k] = HistogramSnapshot{
+				Count: h.h.Count(),
+				Mean:  h.h.Mean(),
+				P50:   h.h.Quantile(0.5),
+				P99:   h.h.Quantile(0.99),
+				Min:   h.h.Min(),
+				Max:   h.h.Max(),
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("obs: snapshot encode: %w", err)
+	}
+	return nil
+}

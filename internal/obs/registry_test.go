@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "c")
+	g := r.Gauge("x", "g")
+	h := r.Histogram("x", "h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// None of these may panic.
+	c.Add(1)
+	c.Inc()
+	g.Set(3)
+	g.SetMax(4)
+	g.SetMin(2)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.NumSeries() != 0 {
+		t.Fatal("nil registry has no series")
+	}
+	if snap := r.Snapshot(); snap.NumSeries() != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryHandleIdentityAndLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("netsim", "ecn_marks", L("mode", "base"))
+	b := r.Counter("netsim", "ecn_marks", L("mode", "base"))
+	if a != b {
+		t.Fatal("same series must resolve to the same handle")
+	}
+	other := r.Counter("netsim", "ecn_marks", L("mode", "src"))
+	if a == other {
+		t.Fatal("different labels must be different series")
+	}
+	// Label order must not matter.
+	x := r.Gauge("c", "g", L("a", "1"), L("b", "2"))
+	y := r.Gauge("c", "g", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed series identity")
+	}
+	a.Add(2)
+	a.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("counter value %v, want 3", a.Value())
+	}
+	if r.NumSeries() != 3 {
+		t.Fatalf("series count %d, want 3", r.NumSeries())
+	}
+}
+
+func TestGaugeWatermarks(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("x", "hw")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax kept %v, want 5", g.Value())
+	}
+	lo := r.Gauge("x", "lw")
+	lo.SetMin(5)
+	lo.SetMin(7)
+	if lo.Value() != 5 {
+		t.Fatalf("SetMin kept %v, want 5", lo.Value())
+	}
+	// First SetMin must latch even if larger than zero value.
+	lo2 := r.Gauge("x", "lw2")
+	lo2.SetMin(9)
+	if lo2.Value() != 9 {
+		t.Fatalf("first SetMin %v, want 9", lo2.Value())
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("a", "c1").Add(1)
+		r.Counter("b", "c2", L("k", "v")).Add(2)
+		r.Gauge("a", "g").Set(4.5)
+		h := r.Histogram("a", "h")
+		for i := 1; i <= 100; i++ {
+			h.Observe(float64(i))
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if snap.Counters["b/c2{k=v}"] != 2 {
+		t.Fatalf("labelled counter missing from snapshot: %+v", snap.Counters)
+	}
+	hs, ok := snap.Histograms["a/h"]
+	if !ok || hs.Count != 100 || hs.Max != 100 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if snap.NumSeries() != 4 {
+		t.Fatalf("snapshot series %d, want 4", snap.NumSeries())
+	}
+}

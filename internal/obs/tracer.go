@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"srcsim/internal/sim"
+)
+
+// DefaultTraceCapacity bounds the tracer's ring buffer when the caller
+// passes no explicit capacity: the newest quarter-million events are
+// kept, older ones are dropped (and counted).
+const DefaultTraceCapacity = 1 << 18
+
+// Phase discriminates event kinds, mirroring the Chrome trace-event
+// phases the exporter emits.
+type Phase byte
+
+const (
+	// PhaseInstant is a point event ("i").
+	PhaseInstant Phase = 'i'
+	// PhaseSpan is a complete duration event ("X").
+	PhaseSpan Phase = 'X'
+	// PhaseCounter is a counter-track sample ("C").
+	PhaseCounter Phase = 'C'
+)
+
+// Arg is one numeric argument attached to an event.
+type Arg struct {
+	Key string
+	Val float64
+}
+
+// Num is shorthand for constructing an Arg.
+func Num(key string, v float64) Arg { return Arg{Key: key, Val: v} }
+
+// Event is one recorded trace entry. Start/Dur are simulated time; the
+// exporter converts to microseconds for the trace viewer.
+type Event struct {
+	Pid   int    // process id: one per Scope (one per run/mode)
+	Track string // rendered as the thread name (component)
+	Name  string
+	Phase Phase
+	Start sim.Time
+	Dur   sim.Time // spans only
+	Args  []Arg
+}
+
+// Tracer records typed events into a bounded ring buffer. Create one
+// with NewTracer; a nil *Tracer (and any Scope cut from it) is a no-op.
+//
+// The ring keeps the newest events: when full, the oldest entry is
+// overwritten and Dropped is incremented. Recording is mutex-guarded so
+// sequential runs sharing a tracer — and race-detector test runs — stay
+// safe, but the expected usage is single-threaded like the engine.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	procs   []string
+}
+
+// NewTracer returns a tracer holding at most capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{events: make([]Event, 0, capacity)}
+}
+
+// Scope registers a named process (a run, a mode, a subsystem) and
+// returns a handle stamping its events with that process id. Nil-safe:
+// a nil tracer yields a nil scope, and nil scopes drop everything.
+func (t *Tracer) Scope(process string) *Scope {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs = append(t.procs, process)
+	return &Scope{t: t, pid: len(t.procs)}
+}
+
+// record appends one event, overwriting the oldest when full.
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.next] = ev
+	t.next++
+	if t.next == len(t.events) {
+		t.next = 0
+	}
+	t.wrapped = true
+	t.dropped++
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were evicted by ring overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	if t.wrapped {
+		out = append(out, t.events[t.next:]...)
+		out = append(out, t.events[:t.next]...)
+	} else {
+		out = append(out, t.events...)
+	}
+	return out
+}
+
+// Scope stamps events with one process id. All methods are nil-safe and
+// guarded by Enabled, so instrumented code can hold a nil *Scope and
+// pay a single pointer test per site when tracing is off.
+type Scope struct {
+	t   *Tracer
+	pid int
+}
+
+// Enabled reports whether events recorded through this scope are kept.
+// The canonical call pattern around any non-trivial argument
+// construction is:
+//
+//	if sc.Enabled() { sc.Instant(...) }
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Instant records a point event on the given track.
+func (s *Scope) Instant(at sim.Time, track, name string, args ...Arg) {
+	if s == nil {
+		return
+	}
+	s.t.record(Event{Pid: s.pid, Track: track, Name: name, Phase: PhaseInstant, Start: at, Args: args})
+}
+
+// Span records a complete duration event covering [from, to].
+func (s *Scope) Span(track, name string, from, to sim.Time, args ...Arg) {
+	if s == nil {
+		return
+	}
+	if to < from {
+		from, to = to, from
+	}
+	s.t.record(Event{Pid: s.pid, Track: track, Name: name, Phase: PhaseSpan, Start: from, Dur: to - from, Args: args})
+}
+
+// Counter records a counter-track sample; the viewer renders the series
+// as a stacked area chart per (process, name).
+func (s *Scope) Counter(at sim.Time, track, name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.t.record(Event{Pid: s.pid, Track: track, Name: name, Phase: PhaseCounter, Start: at, Args: []Arg{{Key: "value", Val: v}}})
+}
+
+// chromeEvent is the trace-event JSON wire form.
+type chromeEvent struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	Ts    float64            `json:"ts"` // microseconds
+	Dur   *float64           `json:"dur,omitempty"`
+	Pid   int                `json:"pid"`
+	Tid   int                `json:"tid"`
+	Args  map[string]float64 `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object format (preferred over the bare array —
+// it tolerates trailing metadata and declares the display unit).
+type chromeFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the buffer as Chrome trace-event JSON,
+// loadable in chrome://tracing and ui.perfetto.dev. Tracks become named
+// threads; scopes become named processes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteChromeTrace on nil tracer")
+	}
+	events := t.Events()
+	t.mu.Lock()
+	procs := append([]string(nil), t.procs...)
+	t.mu.Unlock()
+
+	var out []json.RawMessage
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, raw)
+		return nil
+	}
+
+	// Process metadata.
+	type metaEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	for i, name := range procs {
+		if err := add(metaEvent{Name: "process_name", Ph: "M", Pid: i + 1, Args: map[string]string{"name": name}}); err != nil {
+			return err
+		}
+	}
+
+	// Track (thread) numbering per process, in order of first appearance.
+	type trackKey struct {
+		pid   int
+		track string
+	}
+	tids := make(map[trackKey]int)
+	nextTid := make(map[int]int)
+	for _, ev := range events {
+		k := trackKey{ev.Pid, ev.Track}
+		if _, ok := tids[k]; ok {
+			continue
+		}
+		nextTid[ev.Pid]++
+		tids[k] = nextTid[ev.Pid]
+		if err := add(metaEvent{Name: "thread_name", Ph: "M", Pid: ev.Pid, Tid: tids[k], Args: map[string]string{"name": ev.Track}}); err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Phase: string(rune(ev.Phase)),
+			Ts:    float64(ev.Start) / 1e3,
+			Pid:   ev.Pid,
+			Tid:   tids[trackKey{ev.Pid, ev.Track}],
+		}
+		if ev.Phase == PhaseSpan {
+			d := float64(ev.Dur) / 1e3
+			ce.Dur = &d
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]float64, len(ev.Args))
+			for _, a := range ev.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		if err := add(ce); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: trace encode: %w", err)
+	}
+	return nil
+}

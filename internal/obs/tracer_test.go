@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+func TestNilTracerAndScopeAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sc := tr.Scope("run")
+	if sc != nil {
+		t.Fatal("nil tracer must yield nil scope")
+	}
+	if sc.Enabled() {
+		t.Fatal("nil scope reports enabled")
+	}
+	// None of these may panic.
+	sc.Instant(0, "a", "b")
+	sc.Span("a", "b", 0, 1)
+	sc.Counter(0, "a", "b", 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must read as empty")
+	}
+}
+
+func TestTracerRecordsAndOrders(t *testing.T) {
+	tr := NewTracer(16)
+	sc := tr.Scope("base")
+	sc.Instant(5*sim.Microsecond, "netsim", "ecn", Num("q", 42))
+	sc.Span("ssd", "gc", 2*sim.Microsecond, 9*sim.Microsecond, Num("relocs", 3))
+	sc.Counter(7*sim.Microsecond, "dcqcn", "rate", 10)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Phase != PhaseInstant || evs[0].Name != "ecn" || evs[0].Pid != 1 {
+		t.Fatalf("instant event wrong: %+v", evs[0])
+	}
+	if evs[1].Phase != PhaseSpan || evs[1].Start != 2*sim.Microsecond || evs[1].Dur != 7*sim.Microsecond {
+		t.Fatalf("span event wrong: %+v", evs[1])
+	}
+	// Reversed span endpoints normalise.
+	sc.Span("ssd", "swap", 9, 2)
+	evs = tr.Events()
+	if last := evs[len(evs)-1]; last.Start != 2 || last.Dur != 7 {
+		t.Fatalf("reversed span not normalised: %+v", last)
+	}
+}
+
+func TestTracerRingOverflowKeepsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	sc := tr.Scope("p")
+	for i := 0; i < 10; i++ {
+		sc.Instant(sim.Time(i), "t", "e", Num("i", float64(i)))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring length %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := sim.Time(6 + i); ev.Start != want {
+			t.Fatalf("event %d at %v, want %v (oldest-first newest-kept)", i, ev.Start, want)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(64)
+	base := tr.Scope("DCQCN-Only")
+	src := tr.Scope("DCQCN-SRC")
+	base.Instant(1000, "netsim", "ecn_mark", Num("queue_bytes", 128))
+	base.Span("ssd", "gc", 2000, 5000)
+	src.Counter(1500, "dcqcn", "rate_gbps", 7.5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.Unit != "ms" {
+		t.Fatalf("displayTimeUnit %q", file.Unit)
+	}
+	var procs, threads, spans, instants, counters int
+	for _, ev := range file.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			switch ev["name"] {
+			case "process_name":
+				procs++
+			case "thread_name":
+				threads++
+			}
+		case "X":
+			spans++
+			if ev["dur"].(float64) != 3.0 { // 3000 ns = 3 µs
+				t.Fatalf("span dur %v µs, want 3", ev["dur"])
+			}
+		case "i":
+			instants++
+			if ev["ts"].(float64) != 1.0 { // 1000 ns = 1 µs
+				t.Fatalf("instant ts %v µs, want 1", ev["ts"])
+			}
+		case "C":
+			counters++
+		}
+	}
+	if procs != 2 || threads != 3 || spans != 1 || instants != 1 || counters != 1 {
+		t.Fatalf("event mix procs=%d threads=%d spans=%d instants=%d counters=%d",
+			procs, threads, spans, instants, counters)
+	}
+}

@@ -99,6 +99,8 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	heapHW  int
+	prof    *profile
 	// Processed counts events executed since construction; useful for
 	// progress reporting and as a runaway guard in tests.
 	Processed uint64
@@ -125,6 +127,9 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	ev := &Event{At: at, Fn: fn, seq: e.seq}
 	e.seq++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.heapHW {
+		e.heapHW = len(e.events)
+	}
 	return ev
 }
 
@@ -167,8 +172,7 @@ func (e *Engine) Run(until Time) {
 		e.now = next.At
 		fn := next.Fn
 		next.Fn = nil
-		e.Processed++
-		fn()
+		e.exec(fn)
 	}
 	if len(e.events) == 0 && e.now < until && until != MaxTime {
 		e.now = until
@@ -188,8 +192,7 @@ func (e *Engine) Step() bool {
 	e.now = next.At
 	fn := next.Fn
 	next.Fn = nil
-	e.Processed++
-	fn()
+	e.exec(fn)
 	return true
 }
 

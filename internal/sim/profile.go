@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// profile is the engine's optional self-profiling state. It never
+// influences event ordering: everything it records is wall-clock or
+// structural, so runs with profiling on and off are identical in
+// simulated behaviour.
+type profile struct {
+	wallStart time.Time
+	sites     map[uintptr]*siteStat
+}
+
+type siteStat struct {
+	count uint64
+	wall  time.Duration
+}
+
+// SiteStat is the per-callback-site digest: one entry per distinct
+// callback function observed while profiling, named via runtime symbol
+// resolution (closures read as pkg.(*Type).method.funcN).
+type SiteStat struct {
+	Name  string
+	Count uint64
+	Wall  time.Duration
+}
+
+// ProfileStats is a snapshot of the engine's self-profiling.
+type ProfileStats struct {
+	// EventsProcessed counts callbacks executed since construction.
+	EventsProcessed uint64
+	// HeapHighWater is the largest pending-event count ever reached.
+	HeapHighWater int
+	// SimTime is the clock at snapshot time.
+	SimTime Time
+	// Wall is wall-clock time elapsed since EnableProfiling.
+	Wall time.Duration
+	// WallPerSimSecond is Wall divided by simulated seconds (0 when the
+	// clock has not advanced).
+	WallPerSimSecond float64
+	// Sites is per-callback-site timing, sorted by total wall time
+	// descending. Empty unless profiling was enabled.
+	Sites []SiteStat
+}
+
+// EnableProfiling turns on per-event wall-clock and per-site timing.
+// The cost is one time.Now pair and a map upsert per event, so leave it
+// off for throughput-sensitive runs; heap high-water and event counts
+// are tracked unconditionally either way.
+func (e *Engine) EnableProfiling() {
+	if e.prof != nil {
+		return
+	}
+	e.prof = &profile{wallStart: time.Now(), sites: make(map[uintptr]*siteStat)}
+}
+
+// ProfilingEnabled reports whether EnableProfiling was called.
+func (e *Engine) ProfilingEnabled() bool { return e.prof != nil }
+
+// HeapHighWater returns the largest pending-event-queue depth observed.
+func (e *Engine) HeapHighWater() int { return e.heapHW }
+
+// ProfileStats snapshots the profiling state. Cheap fields are always
+// populated; Wall and Sites require EnableProfiling.
+func (e *Engine) ProfileStats() ProfileStats {
+	ps := ProfileStats{
+		EventsProcessed: e.Processed,
+		HeapHighWater:   e.heapHW,
+		SimTime:         e.now,
+	}
+	if e.prof == nil {
+		return ps
+	}
+	ps.Wall = time.Since(e.prof.wallStart)
+	if secs := e.now.Seconds(); secs > 0 {
+		ps.WallPerSimSecond = ps.Wall.Seconds() / secs
+	}
+	ps.Sites = make([]SiteStat, 0, len(e.prof.sites))
+	for pc, s := range e.prof.sites {
+		name := "unknown"
+		if fn := runtime.FuncForPC(pc); fn != nil {
+			name = fn.Name()
+		}
+		ps.Sites = append(ps.Sites, SiteStat{Name: name, Count: s.count, Wall: s.wall})
+	}
+	sort.Slice(ps.Sites, func(i, j int) bool {
+		if ps.Sites[i].Wall != ps.Sites[j].Wall {
+			return ps.Sites[i].Wall > ps.Sites[j].Wall
+		}
+		return ps.Sites[i].Name < ps.Sites[j].Name
+	})
+	return ps
+}
+
+// exec runs one event callback, accounting it to its site when
+// profiling. The disabled path costs a single nil check.
+func (e *Engine) exec(fn func()) {
+	e.Processed++
+	if e.prof == nil {
+		fn()
+		return
+	}
+	pc := reflect.ValueOf(fn).Pointer()
+	t0 := time.Now()
+	fn()
+	dt := time.Since(t0)
+	s := e.prof.sites[pc]
+	if s == nil {
+		s = &siteStat{}
+		e.prof.sites[pc] = s
+	}
+	s.count++
+	s.wall += dt
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeapHighWaterTrackedUnconditionally(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.HeapHighWater() != 10 {
+		t.Fatalf("heap high water %d, want 10", e.HeapHighWater())
+	}
+	e.RunUntilIdle()
+	// Draining must not lower the recorded high-water mark.
+	if e.HeapHighWater() != 10 {
+		t.Fatalf("heap high water after drain %d, want 10", e.HeapHighWater())
+	}
+	ps := e.ProfileStats()
+	if ps.EventsProcessed != 10 || ps.HeapHighWater != 10 {
+		t.Fatalf("stats %+v", ps)
+	}
+	if ps.Sites != nil {
+		t.Fatal("sites populated without EnableProfiling")
+	}
+}
+
+func TestProfilingCollectsSites(t *testing.T) {
+	e := NewEngine()
+	e.EnableProfiling()
+	if !e.ProfilingEnabled() {
+		t.Fatal("profiling not enabled")
+	}
+	tickA := func() {}
+	var tickB func()
+	n := 0
+	tickB = func() {
+		n++
+		if n < 5 {
+			e.After(Millisecond, tickB)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		e.Schedule(Time(i)*Microsecond, tickA)
+	}
+	e.After(Millisecond, tickB)
+	e.RunUntilIdle()
+
+	ps := e.ProfileStats()
+	if ps.EventsProcessed != 8 {
+		t.Fatalf("processed %d, want 8", ps.EventsProcessed)
+	}
+	if ps.SimTime != 5*Millisecond {
+		t.Fatalf("sim time %v, want 5ms", ps.SimTime)
+	}
+	if len(ps.Sites) != 2 {
+		t.Fatalf("got %d sites, want 2: %+v", len(ps.Sites), ps.Sites)
+	}
+	var counts []uint64
+	for _, s := range ps.Sites {
+		if !strings.Contains(s.Name, "sim.") {
+			t.Fatalf("site name %q lacks package qualifier", s.Name)
+		}
+		counts = append(counts, s.Count)
+	}
+	if counts[0]+counts[1] != 8 {
+		t.Fatalf("site counts %v do not sum to 8", counts)
+	}
+	if ps.WallPerSimSecond <= 0 {
+		t.Fatalf("wall-per-sim-second %v, want > 0", ps.WallPerSimSecond)
+	}
+}
+
+func TestProfilingDoesNotPerturbDeterminism(t *testing.T) {
+	run := func(profiled bool) []Time {
+		e := NewEngine()
+		if profiled {
+			e.EnableProfiling()
+		}
+		var order []Time
+		rng := NewRNG(42)
+		var spawn func()
+		spawn = func() {
+			order = append(order, e.Now())
+			if len(order) < 50 {
+				e.After(Time(rng.Intn(100)+1), spawn)
+			}
+		}
+		e.After(1, spawn)
+		e.RunUntilIdle()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at %v (plain) vs %v (profiled)", i, a[i], b[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"srcsim/internal/nvme"
+	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 )
@@ -27,6 +28,12 @@ type Device struct {
 	// OnComplete, if set, is called for every finished command after
 	// internal accounting. The engine clock is at the completion time.
 	OnComplete func(*nvme.Command)
+
+	// Trace, if set, records GC spans and completion-queue congestion
+	// instants on the run timeline; TraceName distinguishes devices
+	// (e.g. "t0/d1"). Nil-safe.
+	Trace     *obs.Scope
+	TraceName string
 
 	// Gate, if set, models completion-queue backpressure: a finished
 	// command is only completed when Gate.Admit accepts it; otherwise it
@@ -132,6 +139,30 @@ func (d *Device) DieUtilizations() []float64 {
 	return out
 }
 
+// CollectMetrics folds the device's end-of-run counters into a metrics
+// registry. Counters accumulate across devices sharing the same labels
+// (a flash array reports as one series set); gauges keep watermarks.
+// Nil reg is a no-op.
+func (d *Device) CollectMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("ssd", "completed_reads", labels...).Add(float64(d.CompletedReads))
+	reg.Counter("ssd", "completed_writes", labels...).Add(float64(d.CompletedWrites))
+	reg.Counter("ssd", "read_bytes", labels...).Add(float64(d.ReadBytes))
+	reg.Counter("ssd", "write_bytes", labels...).Add(float64(d.WriteBytes))
+	reg.Counter("ssd", "fetched_commands", labels...).Add(float64(d.FetchedCommands))
+	reg.Counter("ssd", "cmt_hits", labels...).Add(float64(d.cmt.Hits))
+	reg.Counter("ssd", "cmt_misses", labels...).Add(float64(d.cmt.Misses))
+	gcColl, gcReloc, gcErase := d.GCStats()
+	reg.Counter("ssd", "gc_collections", labels...).Add(float64(gcColl))
+	reg.Counter("ssd", "gc_relocations", labels...).Add(float64(gcReloc))
+	reg.Counter("ssd", "gc_erases", labels...).Add(float64(gcErase))
+	reg.Gauge("ssd", "write_amplification", labels...).SetMax(d.WriteAmplification())
+	reg.Gauge("ssd", "cq_parked_peak", labels...).SetMax(float64(d.PeakParked))
+	reg.Gauge("ssd", "write_cache_peak_slots", labels...).SetMax(float64(d.wcache.PeakUsed))
+}
+
 // Precondition simulates MQSim-style preconditioning for a workload that
 // accesses the first span bytes of the logical space: the mapping
 // entries of that footprint are installed in the CMT (up to its
@@ -210,6 +241,12 @@ func (d *Device) complete(c *nvme.Command) {
 		d.parked = append(d.parked, c)
 		if len(d.parked) > d.PeakParked {
 			d.PeakParked = len(d.parked)
+			// Only new high-water marks are traced, bounding event volume
+			// while still pinpointing when CQ congestion deepened.
+			if d.Trace.Enabled() {
+				d.Trace.Instant(d.eng.Now(), "ssd", "cq_park "+d.TraceName,
+					obs.Num("parked", float64(len(d.parked))))
+			}
 		}
 		return
 	}
@@ -342,6 +379,8 @@ func (d *Device) gcStep(die *die) {
 		return
 	}
 	die.GCCollections++
+	gcStart := d.eng.Now()
+	var relocated int
 	live := die.liveLPNs(victim)
 	var relocate func(i int)
 	relocate = func(i int) {
@@ -353,6 +392,11 @@ func (d *Device) gcStep(die *die) {
 			// All live data moved: erase and recycle.
 			die.res.acquire(d.Cfg.EraseLatency, func() {
 				die.finishErase(victim)
+				if d.Trace.Enabled() {
+					d.Trace.Span("ssd", "gc "+d.TraceName, gcStart, d.eng.Now(),
+						obs.Num("die", float64(die.index)),
+						obs.Num("relocations", float64(relocated)))
+				}
 				die.drainWaiters()
 				if die.gcNeeded() {
 					d.gcStep(die)
@@ -367,6 +411,7 @@ func (d *Device) gcStep(die *die) {
 			panic(fmt.Sprintf("ssd: die %d has no space for GC relocation", die.index))
 		}
 		die.GCRelocations++
+		relocated++
 		// Copy-back: array read + program on the same die, no bus.
 		die.res.acquire(d.Cfg.ReadLatency+d.Cfg.ProgramLatency, func() {
 			relocate(i + 1)

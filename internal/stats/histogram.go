@@ -24,7 +24,10 @@ type Histogram struct {
 func (h *Histogram) Add(v float64) {
 	idx := 0
 	if v >= 1 {
-		idx = int(math.Log2(v))
+		// Ilogb extracts the binary exponent exactly, where Log2+truncate
+		// can round values just below a power of two (e.g. the largest
+		// float64 under 2^50) up into the next bucket.
+		idx = math.Ilogb(v)
 		if idx > 63 {
 			idx = 63
 		}

@@ -99,6 +99,48 @@ func TestPropertyHistogramMonotone(t *testing.T) {
 	}
 }
 
+// Bucket boundaries must be exact: 2^i opens bucket i, and the largest
+// float64 strictly below 2^i must stay in bucket i-1. The former
+// int(math.Log2(v)) indexing failed the second property for large i
+// because Log2 rounds to the nearest representable float.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for i := 1; i <= 62; i++ {
+		pow := math.Exp2(float64(i))
+
+		var at Histogram
+		at.Add(pow)
+		if at.counts[i] != 1 {
+			t.Fatalf("2^%d landed outside bucket %d", i, i)
+		}
+
+		var below Histogram
+		below.Add(math.Nextafter(pow, 0))
+		if below.counts[i-1] != 1 {
+			// Locate where it went for the failure message.
+			got := -1
+			for b, c := range below.counts {
+				if c == 1 {
+					got = b
+				}
+			}
+			t.Fatalf("nextafter(2^%d) landed in bucket %d, want %d", i, got, i-1)
+		}
+	}
+	// Exactly 1 is the first value of bucket 0.
+	var one Histogram
+	one.Add(1)
+	if one.counts[0] != 1 {
+		t.Fatal("1 not in bucket 0")
+	}
+	// Values at or above 2^63 clamp into the top bucket.
+	var top Histogram
+	top.Add(math.Exp2(64))
+	top.Add(math.MaxFloat64)
+	if top.counts[63] != 2 {
+		t.Fatal("huge values not clamped into bucket 63")
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	var h Histogram
 	h.Add(10)

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+// A value landing exactly on a bucket boundary belongs to the bucket it
+// opens, not the one it closes.
+func TestTimeSeriesBucketBoundary(t *testing.T) {
+	ts := NewTimeSeries(sim.Millisecond)
+	ts.Add(0, 1)                  // bucket 0 start
+	ts.Add(sim.Millisecond-1, 2)  // last instant of bucket 0
+	ts.Add(sim.Millisecond, 4)    // first instant of bucket 1
+	ts.Add(2*sim.Millisecond, 8)  // opens bucket 2
+	ts.Add(2*sim.Millisecond, 16) // same boundary instant accumulates
+
+	if ts.Len() != 3 {
+		t.Fatalf("len %d, want 3", ts.Len())
+	}
+	if ts.Sum(0) != 3 || ts.Count(0) != 2 {
+		t.Fatalf("bucket 0 sum/count %v/%d, want 3/2", ts.Sum(0), ts.Count(0))
+	}
+	if ts.Sum(1) != 4 || ts.Count(1) != 1 {
+		t.Fatalf("bucket 1 sum/count %v/%d, want 4/1", ts.Sum(1), ts.Count(1))
+	}
+	if ts.Sum(2) != 24 || ts.Count(2) != 2 {
+		t.Fatalf("bucket 2 sum/count %v/%d, want 24/2", ts.Sum(2), ts.Count(2))
+	}
+}
+
+// Out-of-order Adds must accumulate identically to sorted Adds, leaving
+// interior gaps as zero-valued buckets.
+func TestTimeSeriesOutOfOrderAdd(t *testing.T) {
+	ts := NewTimeSeries(sim.Millisecond)
+	ts.Add(5*sim.Millisecond, 10) // grows to 6 buckets
+	ts.Add(sim.Millisecond, 2)    // earlier bucket, after the growth
+	ts.Add(5*sim.Millisecond, 1)
+	ts.Add(0, 7)
+
+	if ts.Len() != 6 {
+		t.Fatalf("len %d, want 6", ts.Len())
+	}
+	want := []float64{7, 2, 0, 0, 0, 11}
+	for i, w := range want {
+		if ts.Sum(i) != w {
+			t.Fatalf("bucket %d sum %v, want %v (sums %v)", i, ts.Sum(i), w, ts.Sums())
+		}
+	}
+	if ts.Total() != 20 {
+		t.Fatalf("total %v, want 20", ts.Total())
+	}
+}
+
+func TestTimeSeriesSumsIsACopy(t *testing.T) {
+	ts := NewTimeSeries(sim.Millisecond)
+	ts.Add(0, 1)
+	sums := ts.Sums()
+	sums[0] = 999
+	if ts.Sum(0) != 1 {
+		t.Fatal("Sums() aliases internal storage")
+	}
+}
+
+func TestTimeSeriesRateAndTrim(t *testing.T) {
+	ts := NewTimeSeries(100 * sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		ts.Add(sim.Time(i)*100*sim.Millisecond, float64(i))
+	}
+	rates := ts.Rate()
+	if len(rates) != 10 {
+		t.Fatalf("rate len %d", len(rates))
+	}
+	// Bucket 3 holds 3 units over 0.1 s = 30 units/s.
+	if rates[3] != 30 {
+		t.Fatalf("rate[3] = %v, want 30", rates[3])
+	}
+	trimmed := ts.TrimFraction(0.1)
+	if len(trimmed) != 8 || trimmed[0] != 1 || trimmed[7] != 8 {
+		t.Fatalf("TrimFraction(0.1) = %v", trimmed)
+	}
+	// Over-trimming never empties a non-empty series.
+	if got := ts.TrimFraction(0.9); len(got) < 1 {
+		t.Fatal("TrimFraction over-trimmed to empty")
+	}
+}
+
+func TestTimeSeriesRendering(t *testing.T) {
+	ts := NewTimeSeries(2 * sim.Millisecond)
+	ts.Add(sim.Millisecond, 5)
+	ts.Add(3*sim.Millisecond, 7)
+	s := ts.String()
+	for _, frag := range []string{"bucket=2ms", "n=2", "total=12"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q, missing %q", s, frag)
+		}
+	}
+	if ts.Bucket() != 2*sim.Millisecond {
+		t.Fatalf("bucket %v", ts.Bucket())
+	}
+}
+
+func TestTimeSeriesNegativeTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add time did not panic")
+		}
+	}()
+	NewTimeSeries(sim.Millisecond).Add(-1, 1)
+}
