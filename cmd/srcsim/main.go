@@ -16,6 +16,11 @@
 //	-metrics out.json         write a metrics-registry snapshot
 //	-trace out.trace.json     write a Chrome trace (chrome://tracing, Perfetto)
 //	-progress 100ms           periodic status line on stderr (sim-time interval)
+//
+// Fault injection (any experiment or replay):
+//
+//	-faults chaos.json        replay a deterministic fault schedule
+//	                          (see internal/faults and EXPERIMENTS.md)
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"srcsim/internal/cluster"
 	"srcsim/internal/core"
+	"srcsim/internal/faults"
 	"srcsim/internal/harness"
 	"srcsim/internal/netsim"
 	"srcsim/internal/obs"
@@ -48,10 +54,28 @@ func main() {
 	format := flag.String("format", "csv", "trace file format for -replay: csv (tracegen) | msr (MSR Cambridge / SNIA)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -replay runs")
 	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
+	faultsFile := flag.String("faults", "", "load a fault-injection schedule (JSON, see internal/faults) and replay it into every cluster run")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr every interval of sim time (e.g. 100ms; 0 disables)")
 	flag.Parse()
+
+	// Fail on a bad -experiment now, before minutes of TPM training.
+	switch *experiment {
+	case "fig2", "fig7", "fig10", "table4":
+	default:
+		log.Fatalf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
+	}
+
+	var faultSched *faults.Schedule
+	if *faultsFile != "" {
+		var err error
+		faultSched, err = faults.LoadFile(*faultsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d fault events from %s\n", len(faultSched.Events), *faultsFile)
+	}
 
 	// Shared observability sinks, attached to every cluster run via the
 	// harness spec mods; nil values keep all hooks no-ops.
@@ -66,6 +90,7 @@ func main() {
 	withObs := func(s *cluster.Spec) {
 		s.Metrics = reg
 		s.Trace = tracer
+		s.Faults = faultSched
 		if *progressEvery > 0 {
 			s.Progress = os.Stderr
 			s.ProgressEvery = sim.Time(*progressEvery)

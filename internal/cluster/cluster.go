@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"srcsim/internal/core"
+	"srcsim/internal/faults"
 	"srcsim/internal/netsim"
 	"srcsim/internal/nvme"
 	"srcsim/internal/nvmeof"
@@ -104,6 +105,17 @@ type Spec struct {
 	// nvmeof.DefaultTXQCap; negative disables CQ backpressure).
 	TXQCap int64
 
+	// Faults, when non-nil, installs the fault schedule into the built
+	// cluster (see internal/faults). Its Recovery block fills any of the
+	// recovery knobs below the caller left unset. Nil keeps the fabric
+	// perfect and all recovery machinery disarmed — the pre-fault
+	// behaviour, byte for byte.
+	Faults *faults.Schedule
+	// Retry arms per-command expiry and retransmission at every
+	// initiator, and (via its Timeout) the targets' TXQ credit-leak
+	// recovery. The zero value disables timeouts.
+	Retry nvmeof.RetryPolicy
+
 	// Metrics, when non-nil, receives counters/gauges/histograms from
 	// every instrumented component and enables engine profiling; the
 	// snapshot lands in Result.Metrics. Nil (the default) keeps all hooks
@@ -154,6 +166,24 @@ func (s Spec) withDefaults() Spec {
 	if s.TrimFrac <= 0 {
 		s.TrimFrac = 0.10
 	}
+	// A schedule's Recovery block arms any recovery knob the caller left
+	// unset; explicit Spec settings win.
+	if s.Faults != nil && s.Faults.Recovery != nil {
+		r := s.Faults.Recovery
+		if !s.Retry.Enabled() && r.Timeout > 0 {
+			s.Retry = nvmeof.RetryPolicy{
+				Timeout: r.Timeout, MaxRetries: r.MaxRetries,
+				BackoffBase: r.BackoffBase, BackoffCap: r.BackoffCap,
+			}
+		}
+		if s.Net.PFCWatchdog <= 0 && r.PFCWatchdog > 0 {
+			s.Net.PFCWatchdog = r.PFCWatchdog
+		}
+		if s.SRC.StaleAfter <= 0 && r.StaleAfter > 0 {
+			s.SRC.StaleAfter = r.StaleAfter
+			s.SRC.FallbackWeight = r.FallbackWeight
+		}
+	}
 	return s
 }
 
@@ -174,12 +204,21 @@ type Cluster struct {
 	Initiators []*nvmeof.Initiator
 	Targets    []*TargetNode
 
+	// Injector is the installed fault schedule (inert when Spec.Faults
+	// is nil).
+	Injector *faults.Injector
+
 	readBits  *stats.TimeSeries
 	writeBits *stats.TimeSeries
 	pauses    *stats.TimeSeries
 
 	completed int
+	failed    int
 	total     int
+
+	// telemetryStalled gates the SRC monitor feed per target (the
+	// telemetry-stall fault).
+	telemetryStalled []bool
 
 	// sc is the run's trace scope (nil when Spec.Trace is nil).
 	sc *obs.Scope
@@ -228,10 +267,11 @@ func New(spec Spec) (*Cluster, error) {
 
 	c := &Cluster{
 		Spec: spec, Eng: eng, Net: net,
-		readBits:  stats.NewTimeSeries(spec.MetricBucket),
-		writeBits: stats.NewTimeSeries(spec.MetricBucket),
-		pauses:    stats.NewTimeSeries(spec.MetricBucket),
-		sc:        sc,
+		readBits:         stats.NewTimeSeries(spec.MetricBucket),
+		writeBits:        stats.NewTimeSeries(spec.MetricBucket),
+		pauses:           stats.NewTimeSeries(spec.MetricBucket),
+		telemetryStalled: make([]bool, spec.Targets),
+		sc:               sc,
 	}
 
 	for i := 0; i < spec.Initiators; i++ {
@@ -241,8 +281,17 @@ func New(spec Spec) (*Cluster, error) {
 				c.readBits.Add(at, float64(req.Size)*8)
 			}
 			c.completed++
-			if c.completed >= c.total && c.total > 0 {
+			if c.completed+c.failed >= c.total && c.total > 0 {
 				eng.Stop()
+			}
+		}
+		if spec.Retry.Enabled() {
+			ini.SetRetryPolicy(spec.Retry)
+			ini.OnFailed = func(req trace.Request, at sim.Time) {
+				c.failed++
+				if c.completed+c.failed >= c.total && c.total > 0 {
+					eng.Stop()
+				}
 			}
 		}
 		c.Initiators = append(c.Initiators, ini)
@@ -288,6 +337,9 @@ func New(spec Spec) (*Cluster, error) {
 			units = append(units, nvmeof.Unit{Dev: dev, Arb: arb})
 		}
 		tn.T = nvmeof.NewTarget(net, node, units, spec.TXQCap)
+		if spec.Retry.Enabled() {
+			tn.T.SetCreditTimeout(spec.Retry.Timeout)
+		}
 		if spec.Mode == SRCDirect {
 			// Wire pacing wake-ups and the rate listener: every DCQCN
 			// rate change is applied directly as the per-device read
@@ -325,7 +377,11 @@ func New(spec Spec) (*Cluster, error) {
 			ctl.Instrument(spec.Metrics, sc, fmt.Sprintf("t%d", tIdx), modeL)
 			tn.Ctl = ctl
 			target := tn.T
+			tIdx := tIdx
 			tn.T.OnCommandArrive = func(req trace.Request, at sim.Time) {
+				if c.telemetryStalled[tIdx] {
+					return
+				}
 				ctl.Monitor.Record(req, at)
 			}
 			tn.T.OnReadRate = func(_ *netsim.Flow, _, _ float64) {
@@ -333,6 +389,24 @@ func New(spec Spec) (*Cluster, error) {
 			}
 		}
 		c.Targets = append(c.Targets, tn)
+	}
+
+	if spec.Faults != nil {
+		b := faults.Binding{
+			Eng: eng, Net: net,
+			Metrics: spec.Metrics, Scope: sc,
+			StallTelemetry: func(t int, stalled bool) { c.telemetryStalled[t] = stalled },
+		}
+		b.Initiators = append(b.Initiators, hosts[:spec.Initiators]...)
+		for _, tn := range c.Targets {
+			b.Targets = append(b.Targets, tn.T.Node)
+			b.TargetDevices = append(b.TargetDevices, tn.Devs)
+		}
+		inj, err := faults.Install(spec.Faults, b)
+		if err != nil {
+			return nil, err
+		}
+		c.Injector = inj
 	}
 	return c, nil
 }

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"srcsim/internal/faults"
+	"srcsim/internal/nvmeof"
+	"srcsim/internal/obs"
+	"srcsim/internal/sim"
+)
+
+// TestEmptyScheduleMatchesGolden is the fault-layer determinism
+// regression: the seeded congestion run must stay byte-identical to the
+// pre-fault-injection golden summary — with no schedule at all, and
+// with an empty schedule plus every recovery mechanism armed (timers
+// that never fire must not perturb the run).
+func TestEmptyScheduleMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/summary_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runSummaryJSON(t, nil)
+	if !bytes.Equal(plain, golden) {
+		t.Fatalf("fault-free run diverged from pre-PR golden:\ngolden: %s\ngot:    %s", golden, plain)
+	}
+
+	armed := runSummaryJSON(t, func(s *Spec) {
+		s.Faults = &faults.Schedule{}
+		// Long enough that no timer fires within the ~47 ms run.
+		s.Retry = nvmeof.RetryPolicy{Timeout: 300 * sim.Millisecond}
+		s.Net.PFCWatchdog = 50 * sim.Millisecond
+	})
+	if !bytes.Equal(armed, golden) {
+		t.Fatalf("armed-but-idle recovery perturbed the run:\ngolden: %s\ngot:    %s", golden, armed)
+	}
+}
+
+// TestSRCDegradationAndRecovery stalls the SRC telemetry feed mid-run:
+// the controllers must fall back to the conservative static weight
+// while the monitor is blind and recover once commands flow again —
+// asserted through the obs counters (the acceptance criterion).
+func TestSRCDegradationAndRecovery(t *testing.T) {
+	reg := obs.NewRegistry()
+	out := runSummaryJSON(t, func(s *Spec) {
+		s.Metrics = reg
+		s.SRC.StaleAfter = sim.Millisecond
+		s.SRC.FallbackWeight = 8
+		// The trace's arrivals span ~10 ms; stall early so telemetry (and
+		// with it, recovery) resumes while traffic is still flowing.
+		s.Faults = &faults.Schedule{Events: []faults.Event{
+			{At: 2 * sim.Millisecond, Kind: faults.TelemetryStall, Where: "target:0",
+				Duration: 4 * sim.Millisecond},
+			{At: 2 * sim.Millisecond, Kind: faults.TelemetryStall, Where: "target:1",
+				Duration: 4 * sim.Millisecond},
+		}}
+	})
+
+	snap := reg.Snapshot()
+	sum := func(prefix string) (v float64) {
+		for k, c := range snap.Counters {
+			if strings.HasPrefix(k, prefix) {
+				v += c
+			}
+		}
+		return v
+	}
+	if got := sum("core/degraded_entries"); got < 1 {
+		t.Fatalf("controller never entered degraded mode (degraded_entries=%g)", got)
+	}
+	if got := sum("core/recoveries"); got < 1 {
+		t.Fatalf("controller never recovered from degraded mode (recoveries=%g)", got)
+	}
+
+	var summary struct {
+		FaultsInjected uint64 `json:"faults_injected"`
+		Completed      int    `json:"completed"`
+		Submitted      int    `json:"submitted"`
+	}
+	if err := json.Unmarshal(out, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.FaultsInjected != 4 { // 2 stalls x (start + end)
+		t.Fatalf("faults_injected = %d, want 4", summary.FaultsInjected)
+	}
+	if summary.Completed != summary.Submitted {
+		t.Fatalf("telemetry stall lost I/O: completed %d != submitted %d",
+			summary.Completed, summary.Submitted)
+	}
+}

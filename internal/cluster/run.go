@@ -42,9 +42,27 @@ type Result struct {
 	AggregatedGbps float64
 
 	Completed, Submitted int
-	TotalCNPs            uint64
-	TotalECNMarks        uint64
-	TotalPFCPauses       uint64
+	// Failed counts requests abandoned after exhausting their retry
+	// budget; the accounting invariant under faults is
+	// Completed + Failed == Submitted.
+	Failed         int
+	TotalCNPs      uint64
+	TotalECNMarks  uint64
+	TotalPFCPauses uint64
+
+	// Fault-injection and recovery counters (all zero on fault-free
+	// runs).
+	FaultsInjected   uint64
+	Retries          uint64
+	Timeouts         uint64
+	StaleResponses   uint64
+	DupsDropped      uint64
+	DroppedPackets   uint64
+	CorruptedPackets uint64
+	RouteDrops       uint64
+	WatchdogTrips    uint64
+	ForcedPauses     uint64
+	LinkDowns        uint64
 
 	// End-to-end request latency percentiles (submission at the
 	// initiator to completion at the initiator), in milliseconds.
@@ -160,7 +178,25 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		Mode:      spec.Mode,
 		Duration:  duration,
 		Completed: c.completed,
+		Failed:    c.failed,
 		Submitted: tr.Len(),
+	}
+	for _, ini := range c.Initiators {
+		res.Retries += ini.Retries
+		res.Timeouts += ini.Timeouts
+		res.StaleResponses += ini.StaleResponses
+	}
+	for _, t := range c.Targets {
+		res.DupsDropped += t.T.DupsDropped
+	}
+	res.DroppedPackets = c.Net.DroppedPackets
+	res.CorruptedPackets = c.Net.CorruptedPackets
+	res.RouteDrops = c.Net.RouteDrops
+	res.WatchdogTrips = c.Net.WatchdogTrips
+	res.ForcedPauses = c.Net.ForcedPauses
+	res.LinkDowns = c.Net.LinkDowns
+	if c.Injector != nil {
+		res.FaultsInjected = c.Injector.Injected
 	}
 	toGbps := func(ts *stats.TimeSeries) []float64 {
 		rates := ts.Rate()
@@ -241,6 +277,15 @@ func (c *Cluster) flushMetrics(reg *obs.Registry) {
 		}
 		t.T.CollectMetrics(reg, modeL)
 	}
+	for _, ini := range c.Initiators {
+		ini.CollectMetrics(reg, modeL)
+	}
+	reg.Counter("netsim", "dropped_packets", modeL).Add(float64(c.Net.DroppedPackets))
+	reg.Counter("netsim", "corrupted_packets", modeL).Add(float64(c.Net.CorruptedPackets))
+	reg.Counter("netsim", "route_drops", modeL).Add(float64(c.Net.RouteDrops))
+	reg.Counter("netsim", "link_downs", modeL).Add(float64(c.Net.LinkDowns))
+	reg.Counter("netsim", "forced_pauses", modeL).Add(float64(c.Net.ForcedPauses))
+	c.Injector.CollectMetrics(reg, modeL)
 	var sent, recvd, delivered uint64
 	for _, ini := range c.Initiators {
 		sent += ini.Node.NIC.BytesSent
@@ -290,6 +335,21 @@ type Summary struct {
 	WriteLatP99Ms  float64 `json:"write_latency_p99_ms"`
 	WeightEvents   int     `json:"weight_events"`
 
+	// Fault/recovery counters, omitted when zero so fault-free runs keep
+	// their historical JSON shape byte-for-byte.
+	Failed           int    `json:"failed,omitempty"`
+	FaultsInjected   uint64 `json:"faults_injected,omitempty"`
+	Retries          uint64 `json:"retries,omitempty"`
+	Timeouts         uint64 `json:"timeouts,omitempty"`
+	StaleResponses   uint64 `json:"stale_responses,omitempty"`
+	DupsDropped      uint64 `json:"dups_dropped,omitempty"`
+	DroppedPackets   uint64 `json:"dropped_packets,omitempty"`
+	CorruptedPackets uint64 `json:"corrupted_packets,omitempty"`
+	RouteDrops       uint64 `json:"route_drops,omitempty"`
+	WatchdogTrips    uint64 `json:"watchdog_trips,omitempty"`
+	ForcedPauses     uint64 `json:"forced_pauses,omitempty"`
+	LinkDowns        uint64 `json:"link_downs,omitempty"`
+
 	// Metrics is present only when the run had a registry attached, so
 	// uninstrumented runs keep their historical JSON shape byte-for-byte.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -313,7 +373,21 @@ func (r *Result) Summary() Summary {
 		WriteLatP50Ms:  r.WriteLatencyP50Ms,
 		WriteLatP99Ms:  r.WriteLatencyP99Ms,
 		WeightEvents:   len(r.WeightEvents),
-		Metrics:        r.Metrics,
+
+		Failed:           r.Failed,
+		FaultsInjected:   r.FaultsInjected,
+		Retries:          r.Retries,
+		Timeouts:         r.Timeouts,
+		StaleResponses:   r.StaleResponses,
+		DupsDropped:      r.DupsDropped,
+		DroppedPackets:   r.DroppedPackets,
+		CorruptedPackets: r.CorruptedPackets,
+		RouteDrops:       r.RouteDrops,
+		WatchdogTrips:    r.WatchdogTrips,
+		ForcedPauses:     r.ForcedPauses,
+		LinkDowns:        r.LinkDowns,
+
+		Metrics: r.Metrics,
 	}
 }
 

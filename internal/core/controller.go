@@ -30,6 +30,17 @@ type ControllerConfig struct {
 	// when the target runs a flash array and the TPM was trained on a
 	// single device (default 1).
 	Scale float64
+	// StaleAfter, when positive, arms the stale-telemetry watchdog: if a
+	// congestion event arrives and the monitor has seen no command for
+	// longer than StaleAfter, the controller stops trusting the TPM (its
+	// feature window describes traffic that no longer exists) and falls
+	// back to the conservative static FallbackWeight until telemetry
+	// resumes. Zero (the default) disables degradation and preserves
+	// pre-fault behaviour exactly.
+	StaleAfter sim.Time
+	// FallbackWeight is the static read:write weight ratio applied while
+	// degraded (default 1 — the fair round-robin baseline).
+	FallbackWeight int
 }
 
 // withDefaults fills unset fields.
@@ -52,6 +63,9 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
+	if c.FallbackWeight <= 0 {
+		c.FallbackWeight = 1
+	}
 	return c
 }
 
@@ -62,6 +76,9 @@ type AdjustEvent struct {
 	DemandedBps  float64
 	WeightRatio  int
 	PredictedRBp float64 // predicted read throughput at the chosen w
+	// Degraded marks a fallback decision: the stale-telemetry watchdog
+	// applied the static FallbackWeight instead of a TPM prediction.
+	Degraded bool
 }
 
 // WeightSink is where the controller applies its decisions: a single
@@ -103,6 +120,7 @@ type Controller struct {
 	lastEventAt sim.Time
 	lastDemand  float64
 	haveEvent   bool
+	degraded    bool
 
 	obs *ctlObs
 }
@@ -110,13 +128,16 @@ type Controller struct {
 // ctlObs holds observability handles resolved by Instrument; nil when
 // observability is off.
 type ctlObs struct {
-	sc          *obs.Scope
-	name        string
-	rateEvents  *obs.Counter
-	suppressed  *obs.Counter
-	adjustments *obs.Counter
-	predictions *obs.Counter
-	weightRatio *obs.Gauge
+	sc             *obs.Scope
+	name           string
+	rateEvents     *obs.Counter
+	suppressed     *obs.Counter
+	adjustments    *obs.Counter
+	predictions    *obs.Counter
+	weightRatio    *obs.Gauge
+	degradedEnters *obs.Counter
+	recoveries     *obs.Counter
+	degraded       *obs.Gauge
 }
 
 // Instrument attaches a metrics registry and/or trace scope to the
@@ -127,13 +148,16 @@ func (c *Controller) Instrument(reg *obs.Registry, sc *obs.Scope, name string, l
 		return
 	}
 	c.obs = &ctlObs{
-		sc:          sc,
-		name:        name,
-		rateEvents:  reg.Counter("core", "rate_events", labels...),
-		suppressed:  reg.Counter("core", "rate_events_suppressed", labels...),
-		adjustments: reg.Counter("core", "adjustments", labels...),
-		predictions: reg.Counter("core", "tpm_predictions", labels...),
-		weightRatio: reg.Gauge("core", "weight_ratio_last", labels...),
+		sc:             sc,
+		name:           name,
+		rateEvents:     reg.Counter("core", "rate_events", labels...),
+		suppressed:     reg.Counter("core", "rate_events_suppressed", labels...),
+		adjustments:    reg.Counter("core", "adjustments", labels...),
+		predictions:    reg.Counter("core", "tpm_predictions", labels...),
+		weightRatio:    reg.Gauge("core", "weight_ratio_last", labels...),
+		degradedEnters: reg.Counter("core", "degraded_entries", labels...),
+		recoveries:     reg.Counter("core", "recoveries", labels...),
+		degraded:       reg.Gauge("core", "degraded", labels...),
 	}
 }
 
@@ -217,6 +241,20 @@ func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
 	c.lastDemand = demandedBps
 	c.haveEvent = true
 
+	if c.Cfg.StaleAfter > 0 {
+		if last, ok := c.Monitor.LastRecordAt(); !ok || at-last > c.Cfg.StaleAfter {
+			// Telemetry stalled: the monitor window describes traffic
+			// that no longer exists, so a TPM prediction would steer on
+			// stale features. Fall back to the conservative static
+			// weight until commands flow again.
+			c.degrade(at, demandedBps)
+			return
+		}
+		if c.degraded {
+			c.recoverTelemetry(at)
+		}
+	}
+
 	ch := c.Monitor.Snapshot(at)
 	w := c.PredictWeightRatio(demandedBps, ch)
 	pr, _ := c.predict(ch, float64(w))
@@ -235,6 +273,42 @@ func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
 		o.sc.Counter(at, "core", "weight_ratio "+o.name, float64(w))
 	}
 }
+
+// degrade enters (or stays in) the stale-telemetry fallback: apply the
+// static FallbackWeight and log the transition.
+func (c *Controller) degrade(at sim.Time, demandedBps float64) {
+	if c.degraded {
+		return
+	}
+	c.degraded = true
+	w := c.Cfg.FallbackWeight
+	c.SSQ.SetWeights(1, w)
+	c.Events = append(c.Events, AdjustEvent{
+		At: at, DemandedBps: demandedBps, WeightRatio: w, Degraded: true,
+	})
+	if o := c.obs; o != nil {
+		o.degradedEnters.Inc()
+		o.degraded.Set(1)
+		o.weightRatio.Set(float64(w))
+		o.sc.Instant(at, "core", "degraded "+o.name,
+			obs.Num("w", float64(w)),
+			obs.Num("demanded_gbps", demandedBps/1e9))
+	}
+}
+
+// recoverTelemetry leaves the fallback once monitor data is fresh again;
+// the caller proceeds to a normal TPM-driven adjustment.
+func (c *Controller) recoverTelemetry(at sim.Time) {
+	c.degraded = false
+	if o := c.obs; o != nil {
+		o.recoveries.Inc()
+		o.degraded.Set(0)
+		o.sc.Instant(at, "core", "recovered "+o.name)
+	}
+}
+
+// Degraded reports whether the stale-telemetry fallback is active.
+func (c *Controller) Degraded() bool { return c.degraded }
 
 // CurrentWeightRatio returns the SSQ's active w.
 func (c *Controller) CurrentWeightRatio() float64 { return c.SSQ.WeightRatio() }

@@ -77,6 +77,9 @@ type Monitor struct {
 
 	reqs []trace.Request // time-ordered arrivals
 	head int
+
+	lastRecordAt sim.Time
+	haveRecord   bool
 }
 
 // NewMonitor returns a monitor with the given prediction window (the
@@ -94,8 +97,17 @@ func (m *Monitor) Window() sim.Time { return m.window }
 // Record notes one arriving request at time at.
 func (m *Monitor) Record(req trace.Request, at sim.Time) {
 	req.Arrival = at
+	m.lastRecordAt = at
+	m.haveRecord = true
 	m.reqs = append(m.reqs, req)
 	m.prune(at)
+}
+
+// LastRecordAt returns the arrival time of the most recent Record call,
+// and whether any record has been seen — the controller's telemetry
+// liveness signal.
+func (m *Monitor) LastRecordAt() (sim.Time, bool) {
+	return m.lastRecordAt, m.haveRecord
 }
 
 // prune drops entries older than the window (lazily, amortised O(1)).

@@ -1,0 +1,179 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"srcsim/internal/netsim"
+	"srcsim/internal/sim"
+)
+
+func TestLoadJSONHappyPath(t *testing.T) {
+	const js = `{
+		"seed": 7,
+		"recovery": {
+			"pfc_watchdog_ns": 1000000,
+			"timeout_ns": 50000000,
+			"max_retries": 4,
+			"backoff_base_ns": 2000000,
+			"backoff_cap_ns": 8000000,
+			"stale_after_ns": 1000000,
+			"fallback_weight": 8
+		},
+		"events": [
+			{"at_ns": 2000000, "kind": "drop", "where": "target:0",
+			 "duration_ns": 20000000, "probability": 0.01},
+			{"at_ns": 4000000, "kind": "link-flap", "where": "target:1",
+			 "duration_ns": 400000, "period_ns": 3000000, "count": 3},
+			{"at_ns": 6000000, "kind": "pfc-storm", "where": "target:0",
+			 "duration_ns": 2000000}
+		]
+	}`
+	s, err := LoadJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 {
+		t.Errorf("Seed = %d, want 7", s.Seed)
+	}
+	if s.Recovery == nil || s.Recovery.Timeout != 50*sim.Millisecond || s.Recovery.FallbackWeight != 8 {
+		t.Errorf("Recovery = %+v", s.Recovery)
+	}
+	if len(s.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(s.Events))
+	}
+	if s.Events[0].Kind != Drop || s.Events[0].Probability != 0.01 {
+		t.Errorf("event 0 = %+v", s.Events[0])
+	}
+	if s.Events[1].Kind != LinkFlap || s.Events[1].Count != 3 {
+		t.Errorf("event 1 = %+v", s.Events[1])
+	}
+}
+
+func TestLoadJSONRejectsUnknownField(t *testing.T) {
+	_, err := LoadJSON(strings.NewReader(`{"events": [], "sede": 7}`))
+	if err == nil {
+		t.Fatal("typo'd field accepted silently")
+	}
+}
+
+func TestLoadJSONEmptyObject(t *testing.T) {
+	s, err := LoadJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 0 || s.Recovery != nil || len(s.Events) != 0 {
+		t.Fatalf("empty object is not the zero schedule: %+v", s)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	cases := []struct {
+		in   string
+		role hostRole
+		idx  int
+		ok   bool
+	}{
+		{"initiator:0", roleInitiator, 0, true},
+		{"target:12", roleTarget, 12, true},
+		{"target", 0, 0, false},
+		{"switch:0", 0, 0, false},
+		{"target:-1", 0, 0, false},
+		{"target:x", 0, 0, false},
+	}
+	for _, c := range cases {
+		role, idx, err := parseWhere(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseWhere(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (role != c.role || idx != c.idx) {
+			t.Errorf("parseWhere(%q) = (%v, %d)", c.in, role, idx)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative at", Event{At: -1, Kind: LinkDown, Where: "target:0"}},
+		{"negative duration", Event{Kind: LinkDown, Where: "target:0", Duration: -1}},
+		{"bad where", Event{Kind: LinkDown, Where: "nowhere"}},
+		{"flap zero count", Event{Kind: LinkFlap, Where: "target:0", Duration: 1}},
+		{"flap no duration", Event{Kind: LinkFlap, Where: "target:0", Count: 1}},
+		{"flap period <= duration", Event{Kind: LinkFlap, Where: "target:0", Count: 2, Duration: 5, Period: 5}},
+		{"drop probability zero", Event{Kind: Drop, Where: "target:0"}},
+		{"drop probability > 1", Event{Kind: Drop, Where: "target:0", Probability: 1.5}},
+		{"slow factor < 1", Event{Kind: SSDSlow, Where: "target:0", Factor: 0.5}},
+		{"slow on initiator", Event{Kind: SSDSlow, Where: "initiator:0", Factor: 2}},
+		{"stall no duration", Event{Kind: TargetStall, Where: "target:0"}},
+		{"telemetry on initiator", Event{Kind: TelemetryStall, Where: "initiator:0", Duration: 1}},
+		{"storm no duration", Event{Kind: PFCStorm, Where: "target:0"}},
+		{"storm repeat no period", Event{Kind: PFCStorm, Where: "target:0", Duration: 1, Count: 2}},
+		{"unknown kind", Event{Kind: "meteor", Where: "target:0"}},
+	}
+	for _, c := range cases {
+		s := &Schedule{Events: []Event{c.ev}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(); err != nil {
+		t.Errorf("nil schedule: %v", err)
+	}
+}
+
+// TestInstallRangeChecks: selector indexes beyond the bound cluster and
+// kinds missing their binding must fail installation, not fire and
+// panic mid-run.
+func TestInstallRangeChecks(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := netsim.NewNetwork(eng, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := netsim.BuildRack(net, 2, 40e9, sim.Microsecond)
+	b := Binding{Eng: eng, Net: net, Initiators: hosts[:1], Targets: hosts[1:]}
+
+	cases := []Event{
+		{Kind: LinkDown, Where: "target:5"},
+		{Kind: LinkDown, Where: "initiator:1"},
+		{Kind: SSDSlow, Where: "target:0", Factor: 2},                   // no devices bound
+		{Kind: TelemetryStall, Where: "target:0", Duration: sim.Second}, // no telemetry binding
+	}
+	for _, ev := range cases {
+		if _, err := Install(&Schedule{Events: []Event{ev}}, b); err == nil {
+			t.Errorf("%s %s: installed", ev.Kind, ev.Where)
+		}
+	}
+
+	// A valid schedule against the same binding installs cleanly.
+	ok := &Schedule{Events: []Event{
+		{At: sim.Millisecond, Kind: LinkDown, Where: "target:0", Duration: sim.Millisecond},
+	}}
+	inj, err := Install(ok, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+	if inj.Injected != 2 { // down + scheduled up
+		t.Fatalf("Injected = %d, want 2", inj.Injected)
+	}
+	if net.LinkDowns != 1 || net.LinkUps != 1 {
+		t.Fatalf("LinkDowns=%d LinkUps=%d, want 1/1", net.LinkDowns, net.LinkUps)
+	}
+}
+
+// TestInstallNilSchedule: a nil schedule yields an inert injector.
+func TestInstallNilSchedule(t *testing.T) {
+	inj, err := Install(nil, Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil || inj.Injected != 0 {
+		t.Fatal("nil schedule did not install inert injector")
+	}
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"srcsim/internal/cluster"
+	"srcsim/internal/faults"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// ChaosSchedule is the standard chaos scenario for the congestion
+// testbed (Fig. 7's topology): 1% packet drop on the initiator's and
+// target 0's links while the workload is in full flight, three link
+// flaps on target 1, and a forced PFC pause storm on target 0 — with
+// every recovery mechanism armed (retries, credit-leak timer, PFC
+// watchdog).
+func ChaosSchedule() *faults.Schedule {
+	return &faults.Schedule{
+		Seed: 0xC0A05,
+		Recovery: &faults.Recovery{
+			PFCWatchdog: sim.Millisecond,
+			Timeout:     50 * sim.Millisecond,
+			MaxRetries:  4,
+			BackoffBase: 2 * sim.Millisecond,
+			BackoffCap:  8 * sim.Millisecond,
+		},
+		Events: []faults.Event{
+			{At: 2 * sim.Millisecond, Kind: faults.Drop, Where: "target:0",
+				Probability: 0.01, Duration: 20 * sim.Millisecond},
+			{At: 2 * sim.Millisecond, Kind: faults.Drop, Where: "initiator:0",
+				Probability: 0.01, Duration: 20 * sim.Millisecond},
+			{At: 4 * sim.Millisecond, Kind: faults.LinkFlap, Where: "target:1",
+				Count: 3, Period: 3 * sim.Millisecond, Duration: 400 * sim.Microsecond},
+			{At: 6 * sim.Millisecond, Kind: faults.PFCStorm, Where: "target:0",
+				Duration: 2 * sim.Millisecond},
+		},
+	}
+}
+
+// ChaosSpec is CongestionSpec with ChaosSchedule installed and a horizon
+// long enough for the slowest failed op (Timeout x (MaxRetries+1) plus
+// backoffs ≈ 270 ms) to finish its accounting after arrivals end.
+func ChaosSpec() cluster.Spec {
+	spec := CongestionSpec()
+	spec.Faults = ChaosSchedule()
+	spec.Horizon = sim.Second
+	return spec
+}
+
+// ChaosSoak runs the chaos scenario end to end under the DCQCN-only
+// baseline (no TPM needed) and returns the result; callers assert the
+// accounting invariant Completed + Failed == Submitted and the recovery
+// counters.
+func ChaosSoak(tr *trace.Trace) (*cluster.Result, error) {
+	c, err := cluster.New(ChaosSpec())
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(tr, nil)
+}

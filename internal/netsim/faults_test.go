@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+// TestClosFailoverOnLinkDown: with one spine fully failed, cross-pod
+// traffic must recompute onto the surviving spine, and restoring the
+// links must be accounted without disturbing delivery.
+func TestClosFailoverOnLinkDown(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildClos(net, ClosSpec{Pods: 2, LeafPerPod: 2, TorPerPod: 1, HostsPerTor: 2, Spines: 2})
+	src, dst := hosts[0], hosts[3]
+	f := net.NewFlow(src, dst)
+	got := 0
+	dst.NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			f.Send(1000, nil)
+		}
+		eng.RunUntilIdle()
+	}
+	send(10)
+	if got != 10 {
+		t.Fatalf("baseline delivered %d/10", got)
+	}
+
+	var used, other *Node
+	for _, n := range net.Nodes() {
+		switch n.Name {
+		case "spine0", "spine1":
+			if n.ForwardedPk > 0 {
+				used = n
+			} else {
+				other = n
+			}
+		}
+	}
+	if used == nil || other == nil {
+		t.Fatal("could not identify used/idle spine")
+	}
+
+	for _, p := range used.Ports() {
+		net.SetLinkState(p, false)
+	}
+	if net.LinkDowns != uint64(len(used.Ports())) {
+		t.Fatalf("LinkDowns = %d, want %d", net.LinkDowns, len(used.Ports()))
+	}
+	send(10)
+	if got != 20 {
+		t.Fatalf("failover delivered %d/20", got)
+	}
+	if other.ForwardedPk == 0 {
+		t.Fatal("surviving spine forwarded nothing after failover")
+	}
+
+	for _, p := range used.Ports() {
+		net.SetLinkState(p, true)
+	}
+	if net.LinkUps != uint64(len(used.Ports())) {
+		t.Fatalf("LinkUps = %d, want %d", net.LinkUps, len(used.Ports()))
+	}
+	send(10)
+	if got != 30 {
+		t.Fatalf("post-restore delivered %d/30", got)
+	}
+}
+
+// TestLinkDownWithoutAltPathDrops: when the only path to the
+// destination is down, forwarded packets are shed and counted as route
+// drops; restoring the link restores delivery.
+func TestLinkDownWithoutAltPathDrops(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 40e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	got := 0
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	dstUplink := hosts[1].Ports()[0]
+	net.SetLinkState(dstUplink, false)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("message delivered over a dead link")
+	}
+	if net.RouteDrops != 1 || net.DroppedPackets != 1 {
+		t.Fatalf("RouteDrops=%d DroppedPackets=%d, want 1/1", net.RouteDrops, net.DroppedPackets)
+	}
+
+	net.SetLinkState(dstUplink, true)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("delivery did not recover after link restore: got %d", got)
+	}
+}
+
+// TestQueuedPacketsWaitForLinkRestore: packets queued behind a failed
+// egress are not lost — they hold in the port queue and transmit once
+// SetLinkState restores the link.
+func TestQueuedPacketsWaitForLinkRestore(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 40e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	got := 0
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	srcUplink := hosts[0].Ports()[0]
+	net.SetLinkState(srcUplink, false)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("message crossed a down link")
+	}
+	if net.DroppedPackets != 0 {
+		t.Fatalf("queued packet was dropped: DroppedPackets=%d", net.DroppedPackets)
+	}
+
+	net.SetLinkState(srcUplink, true)
+	eng.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("queued packet not delivered after restore: got %d", got)
+	}
+}
+
+// TestPFCPauseResumeAcrossLinkCycle: a forced PFC pause must survive a
+// link down/up cycle in the middle of the pause window, lift on
+// schedule, account the paused interval, and release the queued data.
+func TestPFCPauseResumeAcrossLinkCycle(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 40e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	got := 0
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	torPort := hosts[1].Ports()[0].Peer() // ToR egress toward the destination
+	const pauseFor = 200 * sim.Microsecond
+	net.ForcePause(torPort, pauseFor)
+	if !torPort.Paused() {
+		t.Fatal("ForcePause did not pause the port")
+	}
+	eng.After(50*sim.Microsecond, func() { net.SetLinkState(hosts[1].Ports()[0], false) })
+	eng.After(100*sim.Microsecond, func() { net.SetLinkState(hosts[1].Ports()[0], true) })
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+
+	if got != 1 {
+		t.Fatalf("message lost across pause + link cycle: got %d", got)
+	}
+	if torPort.Paused() {
+		t.Fatal("port still paused after the window")
+	}
+	if torPort.PausedTime != pauseFor {
+		t.Fatalf("PausedTime = %v, want %v", torPort.PausedTime, pauseFor)
+	}
+	if net.ForcedPauses != 1 || net.LinkDowns != 1 || net.LinkUps != 1 {
+		t.Fatalf("counters ForcedPauses=%d LinkDowns=%d LinkUps=%d, want 1/1/1",
+			net.ForcedPauses, net.LinkDowns, net.LinkUps)
+	}
+}
+
+// TestWatchdogBreaksPauseStorm: an indefinite forced pause (a storm with
+// the resume frame lost) must be broken by the PFC watchdog, after which
+// traffic flows again.
+func TestWatchdogBreaksPauseStorm(t *testing.T) {
+	eng, net := newTestNet(t, Config{PFCWatchdog: 100 * sim.Microsecond})
+	hosts := BuildRack(net, 2, 40e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	got := 0
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	torPort := hosts[1].Ports()[0].Peer()
+	net.ForcePause(torPort, 0) // no scheduled lift: only the watchdog can save us
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+
+	if net.WatchdogTrips == 0 {
+		t.Fatal("watchdog never tripped")
+	}
+	if torPort.Paused() {
+		t.Fatal("port still paused after watchdog trip")
+	}
+	if got != 1 {
+		t.Fatalf("message not delivered after watchdog recovery: got %d", got)
+	}
+}
+
+// TestLossCountersAccount: certain drop and certain corruption are
+// counted exactly, and clearing the loss restores perfect delivery.
+func TestLossCountersAccount(t *testing.T) {
+	eng, net := newTestNet(t, Config{})
+	hosts := BuildRack(net, 2, 40e9, sim.Microsecond)
+	f := net.NewFlow(hosts[0], hosts[1])
+	got := 0
+	hosts[1].NIC.OnMessage = func(_ *Flow, _ uint64, _ int, _ any) { got++ }
+
+	p := hosts[0].Ports()[0]
+	p.SetLoss(1, 0)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 0 || net.DroppedPackets != 1 {
+		t.Fatalf("certain drop: got=%d DroppedPackets=%d, want 0/1", got, net.DroppedPackets)
+	}
+
+	p.SetLoss(0, 1)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 0 || net.CorruptedPackets != 1 {
+		t.Fatalf("certain corruption: got=%d CorruptedPackets=%d, want 0/1", got, net.CorruptedPackets)
+	}
+
+	p.SetLoss(0, 0)
+	f.Send(1000, nil)
+	eng.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("delivery did not recover after clearing loss: got %d", got)
+	}
+}

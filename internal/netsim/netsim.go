@@ -91,6 +91,13 @@ type Config struct {
 	DisableECN bool
 	// Seed drives ECN marking randomness.
 	Seed uint64
+	// PFCWatchdog, when positive, bounds how long a port may stay
+	// PFC-paused: a pause persisting beyond the threshold (a storm or
+	// deadlock signal, e.g. a lost resume frame) trips the watchdog,
+	// which counts the trip and force-resumes the port — the recovery
+	// real NICs implement as a PFC storm watchdog. Zero (the default)
+	// disables the watchdog and preserves pre-fault behaviour exactly.
+	PFCWatchdog sim.Time
 }
 
 // WithDefaults fills unset fields.
@@ -170,6 +177,9 @@ type Packet struct {
 	// SentAt is the transmission timestamp for RTT measurement (echoed
 	// in Ack frames).
 	SentAt sim.Time
+	// Corrupted marks a frame damaged on the wire (fault injection); the
+	// next hop discards it on the FCS check instead of processing it.
+	Corrupted bool
 	// Payload rides only on the last packet of a message and is handed
 	// to the receiver's OnMessage callback.
 	Payload any

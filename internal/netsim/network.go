@@ -18,6 +18,12 @@ type Network struct {
 	flows map[int]*Flow
 	nextF int
 
+	// chaosRNG drives injected packet loss/corruption. It is created
+	// lazily on the first SetLoss/SeedChaos call and drawn from only when
+	// a port has a non-zero loss probability, so fault-free runs never
+	// touch it and stay byte-identical to pre-fault output.
+	chaosRNG *sim.RNG
+
 	obs *netObs
 
 	// Global counters.
@@ -25,6 +31,16 @@ type Network struct {
 	PFCPauses  uint64
 	PFCResumes uint64
 	CNPsSent   uint64
+
+	// Fault and recovery counters (all zero unless faults are injected
+	// or the PFC watchdog is enabled).
+	DroppedPackets   uint64 // lost to injected drop probability or dead links
+	CorruptedPackets uint64 // damaged by injected corruption (discarded downstream)
+	RouteDrops       uint64 // forwarded packets with no surviving route
+	WatchdogTrips    uint64 // PFC pauses force-resumed by the watchdog
+	ForcedPauses     uint64 // adversarial pauses injected via ForcePause
+	LinkDowns        uint64
+	LinkUps          uint64
 }
 
 // netObs holds the fabric's resolved instrumentation handles; nil when
@@ -32,11 +48,12 @@ type Network struct {
 type netObs struct {
 	sc *obs.Scope
 
-	ecnMarks   *obs.Counter
-	pfcPauses  *obs.Counter
-	pfcResumes *obs.Counter
-	cnpsSent   *obs.Counter
-	queuePeak  *obs.Gauge
+	ecnMarks      *obs.Counter
+	pfcPauses     *obs.Counter
+	pfcResumes    *obs.Counter
+	cnpsSent      *obs.Counter
+	queuePeak     *obs.Gauge
+	watchdogTrips *obs.Counter
 
 	// Shared DCQCN per-flow handles (see dcqcn.RPObs).
 	rpCNPs      *obs.Counter
@@ -55,16 +72,17 @@ func (n *Network) Instrument(reg *obs.Registry, sc *obs.Scope, labels ...obs.Lab
 		return
 	}
 	n.obs = &netObs{
-		sc:          sc,
-		ecnMarks:    reg.Counter("netsim", "ecn_marks", labels...),
-		pfcPauses:   reg.Counter("netsim", "pfc_pauses", labels...),
-		pfcResumes:  reg.Counter("netsim", "pfc_resumes", labels...),
-		cnpsSent:    reg.Counter("netsim", "cnps_sent", labels...),
-		queuePeak:   reg.Gauge("netsim", "port_queue_peak_bytes", labels...),
-		rpCNPs:      reg.Counter("dcqcn", "cnps_received", labels...),
-		rpCuts:      reg.Counter("dcqcn", "rate_cuts", labels...),
-		rpIncreases: reg.Counter("dcqcn", "rate_increases", labels...),
-		rpCutDepth:  reg.Histogram("dcqcn", "cut_depth_pct", labels...),
+		sc:            sc,
+		ecnMarks:      reg.Counter("netsim", "ecn_marks", labels...),
+		pfcPauses:     reg.Counter("netsim", "pfc_pauses", labels...),
+		pfcResumes:    reg.Counter("netsim", "pfc_resumes", labels...),
+		cnpsSent:      reg.Counter("netsim", "cnps_sent", labels...),
+		queuePeak:     reg.Gauge("netsim", "port_queue_peak_bytes", labels...),
+		watchdogTrips: reg.Counter("netsim", "pfc_watchdog_trips", labels...),
+		rpCNPs:        reg.Counter("dcqcn", "cnps_received", labels...),
+		rpCuts:        reg.Counter("dcqcn", "rate_cuts", labels...),
+		rpIncreases:   reg.Counter("dcqcn", "rate_increases", labels...),
+		rpCutDepth:    reg.Histogram("dcqcn", "cut_depth_pct", labels...),
 	}
 }
 
@@ -84,6 +102,20 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 
 // Engine returns the event engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// chaos returns the loss RNG, creating it from the fabric seed on first
+// use. Kept separate from the ECN stream so enabling faults never
+// perturbs marking decisions of the fault-free portions of a run.
+func (n *Network) chaos() *sim.RNG {
+	if n.chaosRNG == nil {
+		n.chaosRNG = sim.NewRNG(n.Cfg.Seed ^ 0x63686173)
+	}
+	return n.chaosRNG
+}
+
+// SeedChaos (re)seeds the loss RNG, pinning injected packet loss to a
+// fault-schedule seed independent of the fabric seed.
+func (n *Network) SeedChaos(seed uint64) { n.chaosRNG = sim.NewRNG(seed ^ 0x63686173) }
 
 // Node is a host or switch.
 type Node struct {
@@ -145,10 +177,65 @@ type Port struct {
 	transmitting bool
 	paused       bool
 
+	// Fault state (see SetLinkState / SetLoss).
+	down        bool
+	downAt      sim.Time
+	dropProb    float64
+	corruptProb float64
+
 	// Counters.
 	TxPackets, TxBytes uint64
 	PausedTime         sim.Time
 	pausedAt           sim.Time
+}
+
+// Peer returns the other end of this port's link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Down reports whether the link this port belongs to is failed.
+func (p *Port) Down() bool { return p.down }
+
+// SetLoss sets this egress direction's per-packet drop and corruption
+// probabilities, breaking the fabric's lossless assumption (fault
+// injection). Zero/zero restores perfect delivery.
+func (p *Port) SetLoss(drop, corrupt float64) {
+	if drop < 0 || drop > 1 || corrupt < 0 || corrupt > 1 {
+		panic(fmt.Sprintf("netsim: loss probabilities %v/%v out of [0,1]", drop, corrupt))
+	}
+	if drop > 0 || corrupt > 0 {
+		p.node.net.chaos() // materialise the RNG before traffic draws from it
+	}
+	p.dropProb, p.corruptProb = drop, corrupt
+}
+
+// SetLinkState fails or restores the full-duplex link owned by p (both
+// directions; either end may be passed). A down link stops transmitting —
+// queued packets wait, frames already on the wire still deliver — and is
+// excluded from routing: ComputeRoutes runs on every transition, so
+// traffic fails over to surviving paths where the topology has them and
+// is dropped (counted in RouteDrops) where it does not.
+func (n *Network) SetLinkState(p *Port, up bool) {
+	if p.down == !up {
+		return
+	}
+	now := n.eng.Now()
+	if up {
+		p.down, p.peer.down = false, false
+		n.LinkUps++
+		if o := n.obs; o != nil && o.sc.Enabled() {
+			o.sc.Span("netsim", fmt.Sprintf("link_down %s<>%s", p.node.Name, p.peer.node.Name),
+				p.downAt, now)
+		}
+	} else {
+		p.down, p.peer.down = true, true
+		p.downAt, p.peer.downAt = now, now
+		n.LinkDowns++
+	}
+	n.ComputeRoutes()
+	if up {
+		p.trySend()
+		p.peer.trySend()
+	}
 }
 
 // Connect links two nodes with a full-duplex link of the given rate
@@ -191,6 +278,9 @@ func (n *Network) ComputeRoutes() {
 			cur := queue[0]
 			queue = queue[1:]
 			for _, p := range cur.ports {
+				if p.down {
+					continue
+				}
 				nb := p.peer.node
 				if dist[nb.ID] < 0 {
 					dist[nb.ID] = dist[cur.ID] + 1
@@ -203,6 +293,9 @@ func (n *Network) ComputeRoutes() {
 				continue
 			}
 			for i, p := range node.ports {
+				if p.down {
+					continue
+				}
 				if d := dist[p.peer.node.ID]; d >= 0 && d == dist[node.ID]-1 {
 					node.nextHops[dst.ID] = append(node.nextHops[dst.ID], int16(i))
 				}
@@ -211,11 +304,17 @@ func (n *Network) ComputeRoutes() {
 	}
 }
 
-// pickEgress selects the ECMP next hop for a packet at node.
+// pickEgress selects the ECMP next hop for a packet at node. It returns
+// nil when the routing tables are computed but no path survives (links
+// down): the caller drops the packet. A nil table still panics — that is
+// a wiring bug, not a fault.
 func (node *Node) pickEgress(pkt *Packet) *Port {
+	if node.nextHops == nil {
+		panic(fmt.Sprintf("netsim: no route from %s to node %d (ComputeRoutes missing?)", node.Name, pkt.Dst))
+	}
 	hops := node.nextHops[pkt.Dst]
 	if len(hops) == 0 {
-		panic(fmt.Sprintf("netsim: no route from %s to node %d (ComputeRoutes missing?)", node.Name, pkt.Dst))
+		return nil
 	}
 	if len(hops) == 1 {
 		return node.ports[hops[0]]
@@ -288,9 +387,11 @@ func (node *Node) sendPFC(in *Port, kind Kind) {
 	})
 }
 
-// trySend starts transmitting the next eligible packet, if idle.
+// trySend starts transmitting the next eligible packet, if idle. A down
+// link transmits nothing: queued packets wait for SetLinkState to
+// restore it.
 func (p *Port) trySend() {
-	if p.transmitting {
+	if p.transmitting || p.down {
 		return
 	}
 	var pkt *Packet
@@ -333,6 +434,21 @@ func (p *Port) trySend() {
 		p.transmitting = false
 		p.TxPackets++
 		p.TxBytes += uint64(pkt.Size)
+		net := p.node.net
+		if p.down {
+			// The link failed while the frame was being serialised.
+			net.DroppedPackets++
+			return
+		}
+		if p.dropProb > 0 && net.chaos().Float64() < p.dropProb {
+			net.DroppedPackets++
+			p.trySend()
+			return
+		}
+		if p.corruptProb > 0 && net.chaos().Float64() < p.corruptProb {
+			pkt.Corrupted = true
+			net.CorruptedPackets++
+		}
 		peer := p.peer
 		eng.After(p.delay, func() {
 			peer.node.receive(pkt, peer)
@@ -349,25 +465,18 @@ func (p *Port) Paused() bool { return p.paused }
 
 // receive handles a packet arriving at node on port in.
 func (node *Node) receive(pkt *Packet, in *Port) {
+	if pkt.Corrupted {
+		// Failed FCS check: the frame is discarded at line ingress, so it
+		// neither pauses, resumes, nor delivers anything.
+		return
+	}
 	switch pkt.Kind {
 	case PauseFrame:
 		node.PFCPausesRx++
-		if !in.paused {
-			in.paused = true
-			in.pausedAt = node.net.eng.Now()
-		}
+		in.pause()
 		return
 	case ResumeFrame:
-		if in.paused {
-			in.paused = false
-			now := node.net.eng.Now()
-			in.PausedTime += now - in.pausedAt
-			if o := node.net.obs; o != nil && o.sc.Enabled() {
-				o.sc.Span("netsim", fmt.Sprintf("pfc_pause %s:p%d", node.Name, in.index),
-					in.pausedAt, now)
-			}
-			in.trySend()
-		}
+		in.resume()
 		return
 	}
 	if pkt.Dst == node.ID {
@@ -380,11 +489,93 @@ func (node *Node) receive(pkt *Packet, in *Port) {
 	// Forward.
 	node.ForwardedPk++
 	egress := node.pickEgress(pkt)
+	if egress == nil {
+		// No surviving path (links down): the fabric sheds the packet and
+		// end-to-end recovery (NVMe-oF retry) takes over.
+		net := node.net
+		net.RouteDrops++
+		net.DroppedPackets++
+		return
+	}
 	if pkt.Kind == Data {
 		pkt.ingress = in
 		egress.enqueueData(pkt)
 	} else {
 		egress.enqueueCtrl(pkt)
+	}
+}
+
+// pause silences the port's data traffic (a PFC pause frame arrived) and
+// arms the storm watchdog when configured.
+func (p *Port) pause() {
+	if p.paused {
+		return
+	}
+	p.paused = true
+	p.pausedAt = p.node.net.eng.Now()
+	p.armWatchdog()
+}
+
+// resume lifts a PFC pause, accounting the paused interval and restarting
+// transmission. Safe to call on an unpaused port.
+func (p *Port) resume() {
+	if !p.paused {
+		return
+	}
+	p.paused = false
+	net := p.node.net
+	now := net.eng.Now()
+	p.PausedTime += now - p.pausedAt
+	if o := net.obs; o != nil && o.sc.Enabled() {
+		o.sc.Span("netsim", fmt.Sprintf("pfc_pause %s:p%d", p.node.Name, p.index),
+			p.pausedAt, now)
+	}
+	p.trySend()
+}
+
+// armWatchdog schedules a PFC storm check for the pause episode that just
+// began. If the same episode is still in force when the check fires, the
+// watchdog trips: the trip is counted, surfaced as a trace instant, and
+// the port is force-resumed — recovery from pause storms and lost resume
+// frames. No-op unless Config.PFCWatchdog is positive.
+func (p *Port) armWatchdog() {
+	net := p.node.net
+	wd := net.Cfg.PFCWatchdog
+	if wd <= 0 {
+		return
+	}
+	started := p.pausedAt
+	net.eng.After(wd, func() {
+		if !p.paused || p.pausedAt != started {
+			return
+		}
+		net.WatchdogTrips++
+		if o := net.obs; o != nil {
+			o.watchdogTrips.Inc()
+			if o.sc.Enabled() {
+				o.sc.Instant(net.eng.Now(), "netsim",
+					fmt.Sprintf("pfc_watchdog_trip %s:p%d", p.node.Name, p.index),
+					obs.Num("paused_us", (net.eng.Now()-started).Micros()))
+			}
+		}
+		p.resume()
+	})
+}
+
+// ForcePause injects an adversarial PFC pause on the port's data traffic,
+// as if a rogue peer emitted a pause storm. With d > 0 the pause lifts
+// after d; with d == 0 it persists until a genuine resume frame arrives or
+// the PFC watchdog trips.
+func (n *Network) ForcePause(p *Port, d sim.Time) {
+	n.ForcedPauses++
+	p.pause()
+	if d > 0 {
+		started := p.pausedAt
+		n.eng.After(d, func() {
+			if p.paused && p.pausedAt == started {
+				p.resume()
+			}
+		})
 	}
 }
 

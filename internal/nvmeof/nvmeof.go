@@ -46,6 +46,64 @@ type wireResp struct {
 	ack func()
 }
 
+// RetryPolicy configures per-command expiry and retransmission at an
+// initiator (the NVMe-oF command timeout). The zero value disables
+// timeouts entirely — the pre-fault behaviour where commands wait
+// forever — so existing setups are unchanged.
+type RetryPolicy struct {
+	// Timeout is the per-attempt expiry, measured from each
+	// (re)submission. Zero or negative disables the whole policy.
+	Timeout sim.Time
+	// MaxRetries bounds retransmissions per command (default 3); a
+	// command failing its last retry is abandoned and reported via
+	// Initiator.OnFailed.
+	MaxRetries int
+	// BackoffBase is the delay before the first retransmission; attempt
+	// k waits min(BackoffBase << (k-1), BackoffCap). Defaults: Timeout/4
+	// and 8×BackoffBase.
+	BackoffBase sim.Time
+	BackoffCap  sim.Time
+}
+
+// Enabled reports whether the policy arms expiry timers.
+func (p RetryPolicy) Enabled() bool { return p.Timeout > 0 }
+
+// WithDefaults fills unset fields of an enabled policy; a disabled
+// policy stays the zero value.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if !p.Enabled() {
+		return RetryPolicy{}
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = p.Timeout / 4
+		if p.BackoffBase <= 0 {
+			p.BackoffBase = 1
+		}
+	}
+	if p.BackoffCap < p.BackoffBase {
+		p.BackoffCap = 8 * p.BackoffBase
+	}
+	return p
+}
+
+// backoff returns the delay before retransmission attempt k (k >= 1).
+func (p RetryPolicy) backoff(attempt int) sim.Time {
+	d := p.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= p.BackoffCap || d <= 0 {
+			return p.BackoffCap
+		}
+	}
+	if d > p.BackoffCap {
+		return p.BackoffCap
+	}
+	return d
+}
+
 // Unit is one SSD instance of a target's flash array: a device plus the
 // arbiter feeding it (the baseline MultiRR or the paper's SSQ).
 type Unit struct {
@@ -88,8 +146,31 @@ type Target struct {
 	// came to (or how deeply it sat at) TXQ exhaustion.
 	txqCreditLow int64
 
+	// inflight tracks commands between arrival and device completion so
+	// retransmitted duplicates (the initiator timed out but the original
+	// is still being served) are dropped instead of executed twice.
+	inflight map[dedupKey]struct{}
+
+	// creditTimeout, when positive, bounds how long delivered-but-lost
+	// read data may hold TXQ credit: if the initiator-side ack never
+	// arrives (the data was dropped on the wire), the credit is returned
+	// after this delay instead of leaking forever and wedging the
+	// devices. Zero (the default) keeps the pre-fault wait-forever
+	// behaviour.
+	creditTimeout sim.Time
+
 	// Counters.
 	ReadsServed, WritesServed uint64
+	// DupsDropped counts retransmitted commands discarded because the
+	// original was still in flight at this target.
+	DupsDropped uint64
+}
+
+// dedupKey identifies a command uniquely across initiators: request IDs
+// are per-trace, so the same ID may arrive from different hosts.
+type dedupKey struct {
+	from netsim.NodeID
+	id   uint64
 }
 
 // DefaultTXQCap bounds in-flight read data per target (bytes).
@@ -116,6 +197,7 @@ func NewTarget(net *netsim.Network, node *netsim.Node, units []Unit, txqCap int6
 		dataFlows: make(map[netsim.NodeID]*netsim.Flow),
 		ackFlows:  make(map[netsim.NodeID]*netsim.Flow),
 		txqCap:    txqCap, txqCredit: txqCap, txqCreditLow: txqCap,
+		inflight: make(map[dedupKey]struct{}),
 	}
 	node.NIC.OnMessage = t.onMessage
 	for _, u := range units {
@@ -162,6 +244,10 @@ func (t *Target) returnCredit(n int64) {
 	}
 }
 
+// SetCreditTimeout arms (or, with zero, disarms) the TXQ credit-leak
+// recovery timer; see the creditTimeout field.
+func (t *Target) SetCreditTimeout(d sim.Time) { t.creditTimeout = d }
+
 // TXQCredit returns the remaining in-flight read-data budget.
 func (t *Target) TXQCredit() int64 { return t.txqCredit }
 
@@ -179,6 +265,7 @@ func (t *Target) CollectMetrics(reg *obs.Registry, labels ...obs.Label) {
 	}
 	reg.Counter("nvmeof", "reads_served", labels...).Add(float64(t.ReadsServed))
 	reg.Counter("nvmeof", "writes_served", labels...).Add(float64(t.WritesServed))
+	reg.Counter("nvmeof", "dups_dropped", labels...).Add(float64(t.DupsDropped))
 	reg.Gauge("nvmeof", "txq_credit_low_bytes", labels...).SetMin(float64(t.txqCreditLow))
 	reg.Gauge("nvmeof", "txq_backlog_end_bytes", labels...).SetMax(float64(t.TXQBacklog()))
 }
@@ -195,6 +282,12 @@ func (t *Target) onMessage(_ *netsim.Flow, _ uint64, _ int, payload any) {
 	if !ok {
 		panic(fmt.Sprintf("nvmeof: target %s received unexpected payload %T", t.Node.Name, payload))
 	}
+	key := dedupKey{from: wr.From, id: wr.Req.ID}
+	if _, dup := t.inflight[key]; dup {
+		t.DupsDropped++
+		return
+	}
+	t.inflight[key] = struct{}{}
 	now := t.eng().Now()
 	if t.OnCommandArrive != nil {
 		t.OnCommandArrive(wr.Req, now)
@@ -214,13 +307,28 @@ func (t *Target) onMessage(_ *netsim.Flow, _ uint64, _ int, payload any) {
 func (t *Target) onDeviceComplete(c *nvme.Command) {
 	wr := c.UserData.(wireReq)
 	now := t.eng().Now()
+	delete(t.inflight, dedupKey{from: wr.From, id: wr.Req.ID})
 	if c.Op == trace.Read {
 		t.ReadsServed++
 		data := t.flowTo(t.dataFlows, wr.From, true)
 		resp := wireResp{Req: wr.Req, ReadData: true}
 		if t.txqCap > 0 {
 			size := int64(c.Size)
-			resp.ack = func() { t.returnCredit(size) }
+			returned := false
+			ret := func() {
+				if returned {
+					return
+				}
+				returned = true
+				t.returnCredit(size)
+			}
+			resp.ack = ret
+			if t.creditTimeout > 0 {
+				// Leak recovery: if the data message is lost on the wire,
+				// the initiator-side ack never fires; without this timer
+				// the credit is gone for good and the devices wedge.
+				t.eng().After(t.creditTimeout, ret)
+			}
 		}
 		data.Send(c.Size+CommandSize, resp)
 		return
@@ -290,16 +398,42 @@ type Initiator struct {
 	// received, or write ack received).
 	OnComplete func(req trace.Request, readData bool, at sim.Time)
 
+	// OnFailed fires when a request exhausts its retry budget and is
+	// abandoned (only with a retry policy set). A request reports
+	// exactly one of OnComplete or OnFailed.
+	OnFailed func(req trace.Request, at sim.Time)
+
 	net        *netsim.Network
 	eng        *sim.Engine
 	cmdFlows   map[netsim.NodeID]*netsim.Flow
 	writeFlows map[netsim.NodeID]*netsim.Flow
+
+	retry   RetryPolicy
+	pending map[uint64]*pendingOp
 
 	// Counters.
 	ReadBytesReceived int64
 	ReadsCompleted    uint64
 	WritesCompleted   uint64
 	Submitted         uint64
+	// Retries counts retransmissions, Timeouts expiry-timer firings
+	// (every retry implies a timeout, but the final timeout of a failed
+	// op does not retry), FailedOps abandoned requests, and
+	// StaleResponses completions that arrived after their command had
+	// already completed (a retransmit duplicate) or failed.
+	Retries        uint64
+	Timeouts       uint64
+	FailedOps      uint64
+	StaleResponses uint64
+}
+
+// pendingOp is an in-flight command awaiting completion under a retry
+// policy.
+type pendingOp struct {
+	req     trace.Request
+	target  *netsim.Node
+	attempt int
+	timer   *sim.Event
 }
 
 // NewInitiator wires an initiator on the given host node.
@@ -313,16 +447,78 @@ func NewInitiator(net *netsim.Network, eng *sim.Engine, node *netsim.Node) *Init
 	return ini
 }
 
+// SetRetryPolicy installs a per-command timeout/retry policy (defaults
+// applied). Must be set before the first Submit; the zero policy leaves
+// timeouts disabled.
+func (ini *Initiator) SetRetryPolicy(p RetryPolicy) {
+	ini.retry = p.WithDefaults()
+	if ini.retry.Enabled() && ini.pending == nil {
+		ini.pending = make(map[uint64]*pendingOp)
+	}
+}
+
 // Submit sends one request to the target node. Reads travel as small
 // capsules; writes carry their payload.
 func (ini *Initiator) Submit(req trace.Request, target *netsim.Node) {
 	ini.Submitted++
+	if ini.retry.Enabled() {
+		op := &pendingOp{req: req, target: target}
+		ini.pending[req.ID] = op
+		ini.armTimer(op)
+	}
+	ini.send(req, target)
+}
+
+func (ini *Initiator) send(req trace.Request, target *netsim.Node) {
 	wr := wireReq{Req: req, From: ini.Node.ID}
 	if req.Op == trace.Read {
 		ini.flowTo(ini.cmdFlows, target.ID).Send(CommandSize, wr)
 		return
 	}
 	ini.flowTo(ini.writeFlows, target.ID).Send(CommandSize+req.Size, wr)
+}
+
+func (ini *Initiator) armTimer(op *pendingOp) {
+	op.timer = ini.eng.After(ini.retry.Timeout, func() { ini.expire(op) })
+}
+
+// expire handles a command whose expiry timer fired: retransmit after a
+// capped exponential backoff, or abandon once the retry budget is spent.
+func (ini *Initiator) expire(op *pendingOp) {
+	if ini.pending[op.req.ID] != op {
+		return // completed while the timer event was in flight
+	}
+	ini.Timeouts++
+	if op.attempt >= ini.retry.MaxRetries {
+		delete(ini.pending, op.req.ID)
+		ini.FailedOps++
+		if ini.OnFailed != nil {
+			ini.OnFailed(op.req, ini.eng.Now())
+		}
+		return
+	}
+	op.attempt++
+	ini.Retries++
+	ini.eng.After(ini.retry.backoff(op.attempt), func() {
+		if ini.pending[op.req.ID] != op {
+			return // completed during the backoff wait
+		}
+		ini.send(op.req, op.target)
+		ini.armTimer(op)
+	})
+}
+
+// CollectMetrics folds the initiator's recovery counters into a metrics
+// registry; counters accumulate across initiators sharing labels. Nil
+// reg is a no-op.
+func (ini *Initiator) CollectMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("nvmeof", "retries", labels...).Add(float64(ini.Retries))
+	reg.Counter("nvmeof", "timeouts", labels...).Add(float64(ini.Timeouts))
+	reg.Counter("nvmeof", "failed_ops", labels...).Add(float64(ini.FailedOps))
+	reg.Counter("nvmeof", "stale_responses", labels...).Add(float64(ini.StaleResponses))
 }
 
 func (ini *Initiator) flowTo(m map[netsim.NodeID]*netsim.Flow, dst netsim.NodeID) *netsim.Flow {
@@ -338,6 +534,21 @@ func (ini *Initiator) onMessage(_ *netsim.Flow, _ uint64, size int, payload any)
 	resp, ok := payload.(wireResp)
 	if !ok {
 		panic(fmt.Sprintf("nvmeof: initiator %s received unexpected payload %T", ini.Node.Name, payload))
+	}
+	if ini.retry.Enabled() {
+		op, ok := ini.pending[resp.Req.ID]
+		if !ok {
+			// Duplicate completion (a retransmit raced the original) or a
+			// completion for an already-abandoned command. Still return
+			// the TXQ credit — each response carries its own.
+			ini.StaleResponses++
+			if resp.ack != nil {
+				resp.ack()
+			}
+			return
+		}
+		ini.eng.Cancel(op.timer)
+		delete(ini.pending, resp.Req.ID)
 	}
 	if resp.ReadData {
 		ini.ReadsCompleted++

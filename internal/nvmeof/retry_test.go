@@ -1,0 +1,116 @@
+package nvmeof
+
+import (
+	"testing"
+
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+	"srcsim/internal/trace"
+)
+
+// TestRetryRecoversFromLoss: a command capsule lost to a transient drop
+// window must be retransmitted after the timeout and complete once the
+// loss clears.
+func TestRetryRecoversFromLoss(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	r.ini.SetRetryPolicy(RetryPolicy{Timeout: 500 * sim.Microsecond, MaxRetries: 3})
+	var completed int
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { completed++ }
+	r.ini.OnFailed = func(trace.Request, sim.Time) { t.Error("op failed despite retries") }
+
+	uplink := r.ini.Node.Ports()[0]
+	uplink.SetLoss(1, 0) // every capsule dropped on the initiator's egress
+	r.eng.After(600*sim.Microsecond, func() { uplink.SetLoss(0, 0) })
+
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+
+	if completed != 1 {
+		t.Fatalf("completed %d, want 1", completed)
+	}
+	if r.ini.Timeouts == 0 || r.ini.Retries == 0 {
+		t.Fatalf("recovery never fired: timeouts=%d retries=%d", r.ini.Timeouts, r.ini.Retries)
+	}
+	if r.ini.FailedOps != 0 {
+		t.Fatalf("FailedOps = %d, want 0", r.ini.FailedOps)
+	}
+}
+
+// TestRetriesExhaustedFails: with the link permanently lossy, the op
+// must fail after MaxRetries attempts and report via OnFailed — never
+// hang the run.
+func TestRetriesExhaustedFails(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	r.ini.SetRetryPolicy(RetryPolicy{Timeout: 100 * sim.Microsecond, MaxRetries: 2})
+	var completed, failed int
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { completed++ }
+	r.ini.OnFailed = func(req trace.Request, at sim.Time) {
+		if req.ID != 1 {
+			t.Errorf("failed op ID %d, want 1", req.ID)
+		}
+		failed++
+	}
+
+	r.ini.Node.Ports()[0].SetLoss(1, 0)
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+
+	if completed != 0 || failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 0/1", completed, failed)
+	}
+	if r.ini.FailedOps != 1 {
+		t.Fatalf("FailedOps = %d", r.ini.FailedOps)
+	}
+	// Initial attempt + MaxRetries retransmissions each time out.
+	if r.ini.Timeouts != 3 || r.ini.Retries != 2 {
+		t.Fatalf("timeouts=%d retries=%d, want 3/2", r.ini.Timeouts, r.ini.Retries)
+	}
+}
+
+// TestTargetDedupsReplays: a timeout shorter than device latency causes
+// retransmissions of a command the target is already executing; the
+// target must drop the replays and the op completes exactly once.
+func TestTargetDedupsReplays(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	// ConfigA read latency is ~190us end to end; 50us timeout guarantees
+	// retransmits while the original is still in flight.
+	r.ini.SetRetryPolicy(RetryPolicy{Timeout: 50 * sim.Microsecond, MaxRetries: 5})
+	var completed int
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { completed++ }
+	r.ini.OnFailed = func(trace.Request, sim.Time) { t.Error("op failed") }
+
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+
+	if completed != 1 {
+		t.Fatalf("completed %d, want exactly 1", completed)
+	}
+	if r.tgt.DupsDropped == 0 {
+		t.Fatal("target never deduplicated a replayed command")
+	}
+	if r.tgt.ReadsServed != 1 {
+		t.Fatalf("target served %d reads, want 1", r.tgt.ReadsServed)
+	}
+}
+
+// TestStaleResponseAccounted: when retries exhaust before the device
+// responds, the eventual response must be counted stale and its credit
+// returned instead of completing a dead op.
+func TestStaleResponseAccounted(t *testing.T) {
+	r := newRig(t, 40e9, ssd.ConfigA())
+	r.ini.SetRetryPolicy(RetryPolicy{Timeout: 20 * sim.Microsecond, MaxRetries: 1})
+	var completed, failed int
+	r.ini.OnComplete = func(trace.Request, bool, sim.Time) { completed++ }
+	r.ini.OnFailed = func(trace.Request, sim.Time) { failed++ }
+
+	r.ini.Submit(trace.Request{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10}, r.tgt.Node)
+	r.eng.RunUntilIdle()
+
+	// The op failed at ~45us; the device's response landed at ~190us.
+	if completed != 0 || failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 0/1", completed, failed)
+	}
+	if r.ini.StaleResponses != 1 {
+		t.Fatalf("StaleResponses = %d, want 1", r.ini.StaleResponses)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPanicAnnotation: a panic escaping an event callback must arrive
+// wrapped as *PanicError carrying the sim time and callback site, with
+// the original value preserved.
+func TestPanicAnnotation(t *testing.T) {
+	eng := NewEngine()
+	eng.After(5*Microsecond, func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("want *PanicError, got %T: %v", r, r)
+		}
+		if pe.At != 5*Microsecond {
+			t.Errorf("At = %v, want 5µs", pe.At)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("Value = %v, want boom", pe.Value)
+		}
+		if !strings.Contains(pe.Site, "sim.") {
+			t.Errorf("Site %q does not name the callback package", pe.Site)
+		}
+		if msg := pe.Error(); !strings.Contains(msg, "panic at t=5µs") || !strings.Contains(msg, "boom") {
+			t.Errorf("Error() = %q, want sim time and value", msg)
+		}
+	}()
+	eng.RunUntilIdle()
+}
+
+// TestPanicAnnotationUnwrap: an error panic value stays reachable via
+// errors.Is through the PanicError wrapper.
+func TestPanicAnnotationUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	eng := NewEngine()
+	eng.After(Millisecond, func() { panic(sentinel) })
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatal("want *PanicError")
+		}
+		if !errors.Is(pe, sentinel) {
+			t.Error("errors.Is cannot reach the wrapped error")
+		}
+	}()
+	eng.RunUntilIdle()
+}
+
+// TestPanicAnnotationNoDoubleWrap: an already-annotated panic crossing
+// another exec boundary passes through unchanged.
+func TestPanicAnnotationNoDoubleWrap(t *testing.T) {
+	eng := NewEngine()
+	inner := &PanicError{At: 7, Site: "x", Value: "y"}
+	eng.After(0, func() { panic(inner) })
+	defer func() {
+		if got := recover(); got != inner {
+			t.Fatalf("inner PanicError was re-wrapped: %v", got)
+		}
+	}()
+	eng.RunUntilIdle()
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
 	"sort"
@@ -97,10 +98,62 @@ func (e *Engine) ProfileStats() ProfileStats {
 	return ps
 }
 
+// PanicError annotates a panic escaping an event callback with the
+// simulated time and the callback site, so a crash deep in a chaos run
+// points at when and where instead of a bare value. The engine re-panics
+// with it; recover and errors.As / type-assert to inspect.
+type PanicError struct {
+	// At is the simulated time the panicking event ran at.
+	At Time
+	// Site is the callback's runtime symbol (pkg.(*Type).method.funcN).
+	Site string
+	// Value is the original panic value.
+	Value any
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sim: panic at t=%v in %s: %v", p.At, p.Site, p.Value)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As chains.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// site resolves a callback's runtime symbol; only called on the panic
+// path, so the reflection cost never touches normal event dispatch.
+func site(fn func()) string {
+	name := "unknown"
+	if f := runtime.FuncForPC(reflect.ValueOf(fn).Pointer()); f != nil {
+		name = f.Name()
+	}
+	return name
+}
+
+// annotatePanic re-panics a recovered callback panic as a *PanicError
+// carrying sim-time and site context. Already-annotated panics (an
+// inner engine, a nested exec) pass through unchanged.
+func (e *Engine) annotatePanic(fn func()) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		panic(pe)
+	}
+	panic(&PanicError{At: e.now, Site: site(fn), Value: r})
+}
+
 // exec runs one event callback, accounting it to its site when
-// profiling. The disabled path costs a single nil check.
+// profiling. The disabled path costs a single nil check plus the
+// deferred panic annotator.
 func (e *Engine) exec(fn func()) {
 	e.Processed++
+	defer e.annotatePanic(fn)
 	if e.prof == nil {
 		fn()
 		return

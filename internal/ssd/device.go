@@ -55,6 +55,12 @@ type Device struct {
 	xferTime    sim.Time
 	parked      []*nvme.Command
 
+	// slowFactor scales die-operation latencies (fault injection); see
+	// SetSlowFactor. Zero or one means nominal speed.
+	slowFactor float64
+	// halted freezes command fetching (a target stall); see SetHalted.
+	halted bool
+
 	// Metrics.
 	CompletedReads  uint64
 	CompletedWrites uint64
@@ -181,9 +187,45 @@ func (d *Device) Precondition(span uint64) {
 	d.cmt.Hits, d.cmt.Misses = 0, 0
 }
 
+// SetSlowFactor scales the device's die-operation latencies (read,
+// program, erase) by f — the fault model's slow-die spike (retention
+// retries, thermal throttling). Bus transfers are unaffected. f of 0 or
+// 1 restores nominal speed; negative f panics. Operations already in
+// flight keep the latency they were issued with.
+func (d *Device) SetSlowFactor(f float64) {
+	if f < 0 {
+		panic(fmt.Sprintf("ssd: negative slow factor %g", f))
+	}
+	d.slowFactor = f
+}
+
+// lat applies the slow-die factor to a die-operation latency.
+func (d *Device) lat(base sim.Time) sim.Time {
+	if d.slowFactor > 0 && d.slowFactor != 1 {
+		return sim.Time(float64(base) * d.slowFactor)
+	}
+	return base
+}
+
+// SetHalted freezes (true) or thaws (false) command fetching — the
+// fault model's target stall. In-flight operations drain normally;
+// thawing re-kicks the fetch loop.
+func (d *Device) SetHalted(h bool) {
+	if d.halted == h {
+		return
+	}
+	d.halted = h
+	if !h {
+		d.Kick()
+	}
+}
+
 // Kick pulls commands from the arbiter while queue-depth slots are free.
 // Call after submitting new commands; completions re-kick automatically.
 func (d *Device) Kick() {
+	if d.halted {
+		return
+	}
 	for d.outstanding < d.Cfg.QueueDepth {
 		c := d.arb.Fetch()
 		if c == nil {
@@ -291,7 +333,7 @@ func (d *Device) ReleaseParked() {
 func (d *Device) readPage(lpn uint64, done func()) {
 	die := d.dieOf(lpn)
 	dataRead := func() {
-		die.res.acquire(d.Cfg.ReadLatency, func() {
+		die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
 			die.channel.acquire(d.xferTime, done)
 		})
 	}
@@ -300,7 +342,7 @@ func (d *Device) readPage(lpn uint64, done func()) {
 		return
 	}
 	// CMT miss: read the mapping page from flash first.
-	die.res.acquire(d.Cfg.ReadLatency, func() {
+	die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
 		die.channel.acquire(d.xferTime, dataRead)
 	})
 }
@@ -331,7 +373,7 @@ func (d *Device) destage(lpn uint64, fin func()) {
 		prog()
 		return
 	}
-	die.res.acquire(d.Cfg.ReadLatency, func() {
+	die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
 		die.channel.acquire(d.xferTime, prog)
 	})
 }
@@ -347,7 +389,7 @@ func (d *Device) program(die *die, lpn uint64, fin func()) {
 				return
 			}
 			die.HostPrograms++
-			die.res.acquire(d.Cfg.ProgramLatency, func() {
+			die.res.acquire(d.lat(d.Cfg.ProgramLatency), func() {
 				d.maybeGC(die)
 				fin()
 			})
@@ -390,7 +432,7 @@ func (d *Device) gcStep(die *die) {
 		}
 		if i >= len(live) {
 			// All live data moved: erase and recycle.
-			die.res.acquire(d.Cfg.EraseLatency, func() {
+			die.res.acquire(d.lat(d.Cfg.EraseLatency), func() {
 				die.finishErase(victim)
 				if d.Trace.Enabled() {
 					d.Trace.Span("ssd", "gc "+d.TraceName, gcStart, d.eng.Now(),
@@ -413,7 +455,7 @@ func (d *Device) gcStep(die *die) {
 		die.GCRelocations++
 		relocated++
 		// Copy-back: array read + program on the same die, no bus.
-		die.res.acquire(d.Cfg.ReadLatency+d.Cfg.ProgramLatency, func() {
+		die.res.acquire(d.lat(d.Cfg.ReadLatency+d.Cfg.ProgramLatency), func() {
 			relocate(i + 1)
 		})
 	}

@@ -1,0 +1,86 @@
+package ssd
+
+import (
+	"testing"
+
+	"srcsim/internal/nvme"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+)
+
+// readOne submits a single uncached read and returns its completion time.
+func readOne(t *testing.T, cfg Config, prep func(*sim.Engine, *Device)) sim.Time {
+	t.Helper()
+	arb := nvme.NewSSQ(1, 1)
+	eng, dev := testDevice(t, cfg, arb)
+	if prep != nil {
+		prep(eng, dev)
+	}
+	var done sim.Time
+	dev.OnComplete = func(*nvme.Command) { done = eng.Now() }
+	arb.Submit(&nvme.Command{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10})
+	dev.Kick()
+	eng.RunUntilIdle()
+	if done == 0 {
+		t.Fatal("read never completed")
+	}
+	return done
+}
+
+// TestSlowFactorStretchesDieOps: a slow-die spike must stretch read
+// latency, and restoring factor 1 must restore the baseline exactly.
+func TestSlowFactorStretchesDieOps(t *testing.T) {
+	cfg := ConfigA()
+	base := readOne(t, cfg, nil)
+	slow := readOne(t, cfg, func(_ *sim.Engine, d *Device) { d.SetSlowFactor(4) })
+	restored := readOne(t, cfg, func(_ *sim.Engine, d *Device) {
+		d.SetSlowFactor(4)
+		d.SetSlowFactor(1)
+	})
+
+	// Die read latency is 75us of the baseline; x4 adds 3*75us = 225us.
+	if slow <= base+200*sim.Microsecond {
+		t.Fatalf("slow read %v not stretched vs baseline %v", slow, base)
+	}
+	if restored != base {
+		t.Fatalf("restored read %v != baseline %v", restored, base)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative slow factor accepted")
+		}
+	}()
+	arb := nvme.NewSSQ(1, 1)
+	_, dev := testDevice(t, cfg, arb)
+	dev.SetSlowFactor(-1)
+}
+
+// TestHaltStallsFetchUntilThawed: a halted device must fetch nothing,
+// and thawing must drain the queued command.
+func TestHaltStallsFetchUntilThawed(t *testing.T) {
+	arb := nvme.NewSSQ(1, 1)
+	eng, dev := testDevice(t, ConfigA(), arb)
+	var done sim.Time
+	dev.OnComplete = func(*nvme.Command) { done = eng.Now() }
+
+	dev.SetHalted(true)
+	arb.Submit(&nvme.Command{ID: 1, Op: trace.Read, LBA: 0, Size: 4 << 10})
+	dev.Kick()
+	eng.RunUntilIdle()
+	if done != 0 || dev.FetchedCommands != 0 {
+		t.Fatalf("halted device fetched: done=%v fetched=%d", done, dev.FetchedCommands)
+	}
+
+	const stall = 5 * sim.Millisecond
+	eng.After(stall, func() { dev.SetHalted(false) })
+	eng.RunUntilIdle()
+	if done < stall {
+		t.Fatalf("completion at %v, want after thaw at %v", done, stall)
+	}
+	if dev.FetchedCommands != 1 {
+		t.Fatalf("fetched %d commands, want 1", dev.FetchedCommands)
+	}
+	// Redundant transitions are no-ops.
+	dev.SetHalted(false)
+}

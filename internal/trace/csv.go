@@ -52,6 +52,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	}
 	t := &Trace{}
 	for id := uint64(0); ; id++ {
+		line := id + 2 // 1-based; the header is line 1
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
@@ -60,8 +61,8 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: read row: %w", err)
 		}
 		arrival, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: bad arrival %q: %w", row[0], err)
+		if err != nil || arrival < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad arrival %q (want non-negative ns)", line, row[0])
 		}
 		var op Op
 		switch row[1] {
@@ -70,23 +71,23 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		case "W":
 			op = Write
 		default:
-			return nil, fmt.Errorf("trace: bad op %q", row[1])
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, row[1])
 		}
 		lba, err := strconv.ParseUint(row[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad lba %q: %w", row[2], err)
+			return nil, fmt.Errorf("trace: line %d: bad lba %q", line, row[2])
 		}
 		size, err := strconv.Atoi(row[3])
 		if err != nil || size <= 0 {
-			return nil, fmt.Errorf("trace: bad size %q", row[3])
+			return nil, fmt.Errorf("trace: line %d: bad size %q", line, row[3])
 		}
 		ini, err := strconv.Atoi(row[4])
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad initiator %q", row[4])
+			return nil, fmt.Errorf("trace: line %d: bad initiator %q", line, row[4])
 		}
 		tgt, err := strconv.Atoi(row[5])
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad target %q", row[5])
+			return nil, fmt.Errorf("trace: line %d: bad target %q", line, row[5])
 		}
 		t.Requests = append(t.Requests, Request{
 			ID: id, Op: op, LBA: lba, Size: size,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -29,8 +30,7 @@ func ReadMSR(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	t := &Trace{}
-	var base int64
-	haveBase := false
+	var ticks []int64 // raw timestamps, rebased to their minimum below
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -43,8 +43,8 @@ func ReadMSR(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: msr line %d has %d fields, want >= 6", lineNo, len(fields))
 		}
 		ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msr line %d timestamp: %w", lineNo, err)
+		if err != nil || ts < 0 {
+			return nil, fmt.Errorf("trace: msr line %d: bad timestamp %q (want non-negative ticks)", lineNo, fields[0])
 		}
 		var op Op
 		switch strings.ToLower(strings.TrimSpace(fields[3])) {
@@ -63,20 +63,32 @@ func ReadMSR(r io.Reader) (*Trace, error) {
 		if err != nil || size <= 0 {
 			return nil, fmt.Errorf("trace: msr line %d size %q", lineNo, fields[5])
 		}
-		if !haveBase {
-			base = ts
-			haveBase = true
-		}
+		ticks = append(ticks, ts)
 		t.Requests = append(t.Requests, Request{
-			ID:      uint64(len(t.Requests)),
-			Op:      op,
-			LBA:     offset,
-			Size:    size,
-			Arrival: sim.Time((ts - base) * tick),
+			ID:   uint64(len(t.Requests)),
+			Op:   op,
+			LBA:  offset,
+			Size: size,
 		})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: msr scan: %w", err)
+	}
+	// Rebase to the minimum timestamp (not the first): MSR files are not
+	// guaranteed time-ordered, and rebasing to the first line would give
+	// earlier requests negative arrivals.
+	var base int64
+	for i, ts := range ticks {
+		if i == 0 || ts < base {
+			base = ts
+		}
+	}
+	const maxTicks = int64(math.MaxInt64) / tick
+	for i, ts := range ticks {
+		if ts-base > maxTicks {
+			return nil, fmt.Errorf("trace: msr timestamp span %d ticks overflows ns", ts-base)
+		}
+		t.Requests[i].Arrival = sim.Time((ts - base) * tick)
 	}
 	t.Sort()
 	for i := range t.Requests {
