@@ -21,18 +21,44 @@
 //
 //	-faults chaos.json        replay a deterministic fault schedule
 //	                          (see internal/faults and EXPERIMENTS.md)
+//
+// Run governance (any experiment or replay; see internal/guard):
+//
+//	-audit=false              disable the conservation auditor
+//	-stall-horizon 200ms      arm the liveness watchdog (sim-time horizon)
+//	-max-wall 10m             truncate gracefully after this much wall time
+//
+// SIGINT/SIGTERM also truncate gracefully: the current run drains at the
+// next event boundary and partial results (marked "truncated") plus all
+// -metrics/-trace artifacts are still written. All file artifacts are
+// written atomically (temp file + rename), so an interrupted run never
+// leaves a half-written file.
+//
+// Exit codes:
+//
+//	0  success
+//	1  configuration, I/O, or internal error
+//	2  guard failure: liveness stall (diagnostic dump on stderr) or
+//	   conservation-invariant violation
+//	3  run truncated (SIGINT, SIGTERM, or -max-wall); partial results
+//	   and artifacts were written
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"srcsim/internal/atomicio"
 	"srcsim/internal/cluster"
 	"srcsim/internal/core"
 	"srcsim/internal/faults"
+	"srcsim/internal/guard"
 	"srcsim/internal/harness"
 	"srcsim/internal/netsim"
 	"srcsim/internal/obs"
@@ -40,10 +66,42 @@ import (
 	"srcsim/internal/trace"
 )
 
+// Exit codes; keep in sync with the package comment and README.
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitGuard     = 2
+	exitTruncated = 3
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("srcsim: ")
+	os.Exit(run())
+}
 
+// fail classifies err into an exit code, printing it (and, for a
+// liveness stall, the diagnostic dump) to stderr.
+func fail(err error) int {
+	var se *guard.StallError
+	if errors.As(err, &se) {
+		log.Print(err)
+		if se.Dump != nil {
+			fmt.Fprintln(os.Stderr, "guard dump:")
+			se.Dump.WriteTo(os.Stderr)
+		}
+		return exitGuard
+	}
+	var ve *guard.ViolationError
+	if errors.As(err, &ve) {
+		log.Print(err)
+		return exitGuard
+	}
+	log.Print(err)
+	return exitError
+}
+
+func run() int {
 	experiment := flag.String("experiment", "fig7", "fig2 | fig7 | fig10 | table4")
 	requests := flag.Int("requests", 2000, "write-request count for fig7 (reads get 2x)")
 	seconds := flag.Float64("seconds", 0.06, "trace length in seconds for fig10/table4")
@@ -58,13 +116,37 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr every interval of sim time (e.g. 100ms; 0 disables)")
+	audit := flag.Bool("audit", true, "run the conservation auditor on every cluster run (read-only; a violation fails the run)")
+	stallHorizon := flag.Duration("stall-horizon", 0, "arm the liveness watchdog: fail with a diagnostic dump if the oldest in-flight command exceeds this sim-time age with no progress (0 disables)")
+	maxWall := flag.Duration("max-wall", 0, "truncate the run gracefully after this much wall-clock time (0 = unlimited); partial results are still written")
 	flag.Parse()
 
 	// Fail on a bad -experiment now, before minutes of TPM training.
 	switch *experiment {
 	case "fig2", "fig7", "fig10", "table4":
 	default:
-		log.Fatalf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
+		log.Printf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
+		return exitError
+	}
+
+	// Graceful cancellation: SIGINT/SIGTERM and -max-wall share one
+	// Stopper; the cluster drains at the next event boundary and the
+	// partial result is marked truncated. A second signal falls through
+	// to the default handler and kills the process.
+	stopper := guard.NewStopper()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		signal.Stop(sigc)
+		fmt.Fprintf(os.Stderr, "srcsim: %v: truncating run (again to kill)\n", s)
+		stopper.Stop(fmt.Sprintf("signal: %v", s))
+	}()
+	if *maxWall > 0 {
+		timer := time.AfterFunc(*maxWall, func() {
+			stopper.Stop(fmt.Sprintf("wall budget %v exceeded", *maxWall))
+		})
+		defer timer.Stop()
 	}
 
 	var faultSched *faults.Schedule
@@ -72,7 +154,7 @@ func main() {
 		var err error
 		faultSched, err = faults.LoadFile(*faultsFile)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d fault events from %s\n", len(faultSched.Events), *faultsFile)
 	}
@@ -95,36 +177,38 @@ func main() {
 			s.Progress = os.Stderr
 			s.ProgressEvery = sim.Time(*progressEvery)
 		}
+		s.Guard.Audit = *audit
+		s.Guard.StallHorizon = sim.Time(*stallHorizon)
+		s.Guard.Stop = stopper
 	}
-	writeObs := func() {
+	writeObs := func() error {
 		if reg != nil {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := reg.WriteJSON(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if err := atomicio.WriteFile(*metricsOut, reg.WriteJSON); err != nil {
+				return err
 			}
 			snap := reg.Snapshot()
 			fmt.Fprintf(os.Stderr, "wrote %d metric series to %s\n", snap.NumSeries(), *metricsOut)
 		}
 		if tracer != nil {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := tracer.WriteChromeTrace(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if err := atomicio.WriteFile(*traceOut, tracer.WriteChromeTrace); err != nil {
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d trace events (%d dropped) to %s\n",
 				tracer.Len(), tracer.Dropped(), *traceOut)
 		}
+		return nil
+	}
+	// epilogue flushes artifacts and converts a stopper firing into the
+	// truncated exit code.
+	epilogue := func() int {
+		if err := writeObs(); err != nil {
+			return fail(err)
+		}
+		if stopper.Stopped() {
+			log.Printf("run truncated: %s", stopper.Reason())
+			return exitTruncated
+		}
+		return exitOK
 	}
 
 	var ccAlg netsim.CCAlg
@@ -136,24 +220,25 @@ func main() {
 	case "none":
 		ccAlg = netsim.CCNone
 	default:
-		log.Fatalf("unknown congestion control %q", *cc)
+		log.Printf("unknown congestion control %q", *cc)
+		return exitError
 	}
 
 	if *experiment == "fig2" {
 		harness.FprintFig2(os.Stdout, harness.Fig2Motivation(harness.DefaultFig2Params()))
-		return
+		return exitOK
 	}
 
 	var tpm *core.TPM
 	if *tpmPath != "" {
 		f, err := os.Open(*tpmPath)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		tpm, err = core.LoadTPM(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded TPM from %s\n", *tpmPath)
 	} else {
@@ -163,7 +248,7 @@ func main() {
 		var err error
 		tpm, samples, err = harness.TrainCongestionTPM(*trainCount, *seed^0xbeef)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "trained on %d samples in %v\n", len(samples), time.Since(start))
 	}
@@ -171,7 +256,7 @@ func main() {
 	if *replayFile != "" {
 		f, err := os.Open(*replayFile)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		var tr *trace.Trace
 		switch *format {
@@ -180,38 +265,42 @@ func main() {
 		case "msr":
 			tr, err = trace.ReadMSR(f)
 		default:
-			log.Fatalf("unknown trace format %q", *format)
+			f.Close()
+			log.Printf("unknown trace format %q", *format)
+			return exitError
 		}
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		spec := harness.CongestionSpec()
 		spec.Net.CC = ccAlg
 		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, withObs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		for _, r := range []*cluster.Result{base, src} {
 			if *jsonOut {
 				if err := r.WriteJSON(os.Stdout); err != nil {
-					log.Fatal(err)
+					return fail(err)
 				}
 				continue
 			}
 			fmt.Printf("%-11s read %5.2f Gbps | write %5.2f Gbps | aggregated %5.2f Gbps | p50/p99 read lat %.2f/%.2f ms | pauses %d\n",
 				r.Mode, r.MeanReadGbps, r.MeanWriteGbps, r.AggregatedGbps,
 				r.ReadLatencyP50Ms, r.ReadLatencyP99Ms, r.TotalCNPs)
+			if r.Truncated {
+				fmt.Printf("%-11s (truncated: %s)\n", "", r.TruncateReason)
+			}
 		}
-		writeObs()
-		return
+		return epilogue()
 	}
 
 	switch *experiment {
 	case "fig7":
 		res, err := harness.Fig7ThroughputCC(tpm, *requests, *seed, ccAlg, withObs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		harness.FprintFig7(os.Stdout, res)
 		fmt.Println()
@@ -219,17 +308,15 @@ func main() {
 	case "fig10":
 		rows, err := harness.Fig10Intensity(tpm, *seconds, *seed, withObs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		harness.FprintFig10(os.Stdout, rows)
 	case "table4":
 		rows, err := harness.TableIV(tpm, nil, *seconds, *seed, withObs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		harness.FprintTableIV(os.Stdout, rows)
-	default:
-		log.Fatalf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
 	}
-	writeObs()
+	return epilogue()
 }

@@ -1,0 +1,46 @@
+// Package atomicio writes artifact files crash-safely: content goes to
+// a temp file in the destination directory and is renamed into place
+// only after a successful write and fsync. An interrupt, crash, or
+// write error mid-way leaves either the previous file or nothing —
+// never a truncated artifact that downstream tooling would half-parse.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write's output to path atomically. The temp file is
+// created in path's directory (rename across filesystems is not
+// atomic), synced, closed, and renamed over path. On any error the temp
+// file is removed and the destination is untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}

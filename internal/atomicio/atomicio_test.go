@@ -1,0 +1,93 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// A mid-write failure must leave no file at the destination and no
+// stray temp file in the directory.
+func TestWriteFileMidWriteFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	boom := errors.New("disk on fire")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, `{"partial":`) // half a document, then fail
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after failed write (stat err %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// A failed rewrite must leave the previous version intact.
+func TestWriteFileFailurePreservesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "v2-partial")
+		return errors.New("interrupted")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("previous version clobbered: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 0 && e.Name()[0] == '.' {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+}

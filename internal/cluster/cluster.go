@@ -13,6 +13,7 @@ import (
 
 	"srcsim/internal/core"
 	"srcsim/internal/faults"
+	"srcsim/internal/guard"
 	"srcsim/internal/netsim"
 	"srcsim/internal/nvme"
 	"srcsim/internal/nvmeof"
@@ -116,6 +117,12 @@ type Spec struct {
 	// recovery. The zero value disables timeouts.
 	Retry nvmeof.RetryPolicy
 
+	// Guard configures run governance: the liveness watchdog, the
+	// conservation auditor, graceful cancellation, and the wall-clock
+	// budget (see internal/guard). The zero value disables everything
+	// and keeps runs byte-identical to ungoverned output.
+	Guard guard.Config
+
 	// Metrics, when non-nil, receives counters/gauges/histograms from
 	// every instrumented component and enables engine profiling; the
 	// snapshot lands in Result.Metrics. Nil (the default) keeps all hooks
@@ -166,6 +173,7 @@ func (s Spec) withDefaults() Spec {
 	if s.TrimFrac <= 0 {
 		s.TrimFrac = 0.10
 	}
+	s.Guard = s.Guard.WithDefaults()
 	// A schedule's Recovery block arms any recovery knob the caller left
 	// unset; explicit Spec settings win.
 	if s.Faults != nil && s.Faults.Recovery != nil {
@@ -215,6 +223,13 @@ type Cluster struct {
 	completed int
 	failed    int
 	total     int
+
+	// Guard state: the in-flight ledger (watchdog only), the fatal
+	// verdict (stall or violation), and the graceful-truncation marker.
+	flight         map[uint64]flightRec
+	guardErr       error
+	truncated      bool
+	truncateReason string
 
 	// telemetryStalled gates the SRC monitor feed per target (the
 	// telemetry-stall fault).

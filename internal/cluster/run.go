@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"srcsim/internal/atomicio"
 	"srcsim/internal/core"
+	"srcsim/internal/guard"
 	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/stats"
@@ -45,7 +47,13 @@ type Result struct {
 	// Failed counts requests abandoned after exhausting their retry
 	// budget; the accounting invariant under faults is
 	// Completed + Failed == Submitted.
-	Failed         int
+	Failed int
+	// Truncated marks a run cut short by graceful cancellation (a
+	// guard.Stopper fired or the wall budget ran out) rather than by
+	// completing its workload; the metric and fault ledgers cover the
+	// portion that ran. TruncateReason says why.
+	Truncated      bool
+	TruncateReason string
 	TotalCNPs      uint64
 	TotalECNMarks  uint64
 	TotalPFCPauses uint64
@@ -104,7 +112,14 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 					writeLats = append(writeLats, lat)
 				}
 			}
+			delete(c.flight, req.ID)
 			prev(req, readData, at)
+		}
+		if prevFail := ini.OnFailed; prevFail != nil {
+			ini.OnFailed = func(req trace.Request, at sim.Time) {
+				delete(c.flight, req.ID)
+				prevFail(req, at)
+			}
 		}
 	}
 
@@ -130,9 +145,17 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		r.Initiator, r.Target = iniIdx, tgtIdx
 		c.Eng.Schedule(r.Arrival, func() {
 			submitTimes[r.ID] = c.Eng.Now()
+			if c.flight != nil {
+				c.flight[r.ID] = flightRec{req: r, submittedAt: c.Eng.Now()}
+			}
 			ini.Submit(r, tgt.T.Node)
 		})
 	}
+
+	// Arm the governance hooks (no-op and event-free when Spec.Guard is
+	// the zero config). Must precede the first event so the in-flight
+	// ledger exists before any submission fires.
+	unguard := c.installGuard()
 
 	// Pause-number sampling (Fig. 8): delta of CNPs received by targets
 	// per metric bucket.
@@ -167,19 +190,38 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	if horizon <= 0 {
 		horizon = 3*tr.Duration() + 200*sim.Millisecond
 	}
-	c.Eng.Run(horizon)
+	if st := spec.Guard.Stop; st != nil && st.Stopped() {
+		// Cancellation fired before this run started (e.g. a SIGINT during
+		// an earlier CompareModes leg): drain immediately with an empty
+		// partial result instead of simulating work nobody will read.
+		c.truncated = true
+		c.truncateReason = st.Reason()
+	} else {
+		c.Eng.Run(horizon)
+	}
 	stopPause()
 	stopProgress()
-	// Drain any residual non-ticker events up to the horizon so the
-	// counters settle (Stop() may have left a few scheduled).
+	unguard()
+	// Always audit once at drain: a leak that emerged after the last
+	// periodic check still fails the run.
+	if spec.Guard.Audit && c.guardErr == nil {
+		if vs := c.auditAll(); len(vs) > 0 {
+			c.guardErr = &guard.ViolationError{At: c.Eng.Now(), Violations: vs}
+		}
+	}
+	if c.guardErr != nil {
+		return nil, c.guardErr
+	}
 	duration := c.Eng.Now()
 
 	res := &Result{
-		Mode:      spec.Mode,
-		Duration:  duration,
-		Completed: c.completed,
-		Failed:    c.failed,
-		Submitted: tr.Len(),
+		Mode:           spec.Mode,
+		Duration:       duration,
+		Completed:      c.completed,
+		Failed:         c.failed,
+		Submitted:      tr.Len(),
+		Truncated:      c.truncated,
+		TruncateReason: c.truncateReason,
 	}
 	for _, ini := range c.Initiators {
 		res.Retries += ini.Retries
@@ -335,6 +377,12 @@ type Summary struct {
 	WriteLatP99Ms  float64 `json:"write_latency_p99_ms"`
 	WeightEvents   int     `json:"weight_events"`
 
+	// Truncation markers, omitted on complete runs so their JSON shape
+	// is unchanged. A truncated summary is still fully valid JSON with
+	// every ledger intact — it just covers a shorter run.
+	Truncated      bool   `json:"truncated,omitempty"`
+	TruncateReason string `json:"truncate_reason,omitempty"`
+
 	// Fault/recovery counters, omitted when zero so fault-free runs keep
 	// their historical JSON shape byte-for-byte.
 	Failed           int    `json:"failed,omitempty"`
@@ -374,6 +422,9 @@ func (r *Result) Summary() Summary {
 		WriteLatP99Ms:  r.WriteLatencyP99Ms,
 		WeightEvents:   len(r.WeightEvents),
 
+		Truncated:      r.Truncated,
+		TruncateReason: r.TruncateReason,
+
 		Failed:           r.Failed,
 		FaultsInjected:   r.FaultsInjected,
 		Retries:          r.Retries,
@@ -396,6 +447,13 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Summary())
+}
+
+// WriteJSONFile writes the summary to path crash-safely (temp file +
+// atomic rename): an interrupt mid-write can never leave a truncated
+// JSON artifact at the destination.
+func (r *Result) WriteJSONFile(path string) error {
+	return atomicio.WriteFile(path, r.WriteJSON)
 }
 
 // CompareModes runs the same trace under DCQCN-only and DCQCN-SRC

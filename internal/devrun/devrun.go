@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"srcsim/internal/core"
+	"srcsim/internal/guard"
 	"srcsim/internal/nvme"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
@@ -84,7 +85,30 @@ func Run(cfg ssd.Config, tr *trace.Trace, w int) (*Result, error) {
 			dev.Kick()
 		})
 	}
+	// Conservation audit through the engine's interrupt hook (a ticker
+	// would keep RunUntilIdle from ever draining). Interrupts run between
+	// callbacks and schedule nothing, so the run itself is unperturbed.
+	var auditErr error
+	eng.SetInterrupt(4096, func() {
+		if auditErr != nil {
+			return
+		}
+		if vs := guard.Audit(ssq, dev); len(vs) > 0 {
+			auditErr = &guard.ViolationError{At: eng.Now(), Violations: vs}
+			eng.Stop()
+		}
+	})
 	eng.RunUntilIdle()
+	eng.SetInterrupt(0, nil)
+	if auditErr == nil {
+		// Drain audit: all queues empty, every page accounted for.
+		if vs := guard.Audit(ssq, dev); len(vs) > 0 {
+			auditErr = &guard.ViolationError{At: eng.Now(), Violations: vs}
+		}
+	}
+	if auditErr != nil {
+		return nil, auditErr
+	}
 
 	res.Duration = eng.Now()
 	res.Completed = completed

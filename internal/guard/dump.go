@@ -1,0 +1,177 @@
+package guard
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"srcsim/internal/sim"
+)
+
+// Dump is the structured diagnostic snapshot the watchdog takes when it
+// trips. Every field is derived from simulation state only (no
+// wall-clock readings), so rendering a dump from a deterministic run is
+// itself byte-deterministic.
+type Dump struct {
+	// SimTime is the clock at the trip.
+	SimTime sim.Time `json:"sim_time_ns"`
+	// EventsProcessed is the engine's lifetime callback count.
+	EventsProcessed uint64 `json:"events_processed"`
+	// PendingEvents is the engine heap size at the trip.
+	PendingEvents int `json:"pending_events"`
+	// NextEventAt is the head of the engine heap (-1 rendered as "none"
+	// when the heap is empty).
+	NextEventAt sim.Time `json:"next_event_at_ns"`
+	// HeapEmpty distinguishes an empty heap from one whose head is 0.
+	HeapEmpty bool `json:"heap_empty"`
+
+	// Submitted/Completed/Failed is the cluster-level command ledger.
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	// InFlightTotal counts all outstanding commands; InFlight holds the
+	// oldest MaxDumpCommands of them, oldest first.
+	InFlightTotal int           `json:"in_flight_total"`
+	OldestAge     sim.Time      `json:"oldest_age_ns"`
+	InFlight      []CommandInfo `json:"in_flight,omitempty"`
+
+	Initiators []InitiatorState `json:"initiators,omitempty"`
+	Targets    []TargetState    `json:"targets,omitempty"`
+	Links      []LinkState      `json:"links,omitempty"`
+}
+
+// MaxDumpCommands caps the per-dump in-flight census so a 64k-deep
+// stall doesn't emit megabytes of diagnostics.
+const MaxDumpCommands = 16
+
+// CommandInfo identifies one stuck in-flight command.
+type CommandInfo struct {
+	ID          uint64   `json:"id"`
+	Initiator   int      `json:"initiator"`
+	Target      int      `json:"target"`
+	Write       bool     `json:"write"`
+	Bytes       int64    `json:"bytes"`
+	SubmittedAt sim.Time `json:"submitted_at_ns"`
+	Age         sim.Time `json:"age_ns"`
+}
+
+// InitiatorState is the per-initiator census at the trip.
+type InitiatorState struct {
+	ID int `json:"id"`
+	// InFlight counts commands submitted but not completed/failed.
+	InFlight int `json:"in_flight"`
+	// RetryPending counts commands awaiting a retransmit decision.
+	RetryPending int `json:"retry_pending"`
+}
+
+// TargetState is the per-target census at the trip.
+type TargetState struct {
+	ID int `json:"id"`
+	// Inflight is the target-side dedup window population.
+	Inflight int `json:"inflight"`
+	// TXQCredit/TXQCap is the transmit-queue credit gate state.
+	TXQCredit int64 `json:"txq_credit"`
+	TXQCap    int64 `json:"txq_cap"`
+	// TXQWaiting counts responses blocked on credit.
+	TXQWaiting int `json:"txq_waiting"`
+	// DevOutstanding/DevParked is the SSD device occupancy.
+	DevOutstanding int `json:"dev_outstanding"`
+	DevParked      int `json:"dev_parked"`
+	// ArbPending is total commands queued in the target's arbiters.
+	ArbPending int `json:"arb_pending"`
+	// SSQs is the per-scheduler token/queue state.
+	SSQs []SSQState `json:"ssqs,omitempty"`
+}
+
+// SSQState is one SSQ arbiter's token and queue state.
+type SSQState struct {
+	RTokens  int `json:"r_tokens"`
+	WTokens  int `json:"w_tokens"`
+	PendingR int `json:"pending_r"`
+	PendingW int `json:"pending_w"`
+}
+
+// LinkState is one fabric port's state at the trip.
+type LinkState struct {
+	Name       string `json:"name"`
+	Down       bool   `json:"down"`
+	Paused     bool   `json:"paused"`
+	QueueBytes int64  `json:"queue_bytes"`
+	QueuePkts  int    `json:"queue_pkts"`
+}
+
+// WriteTo renders the dump as an indented human-readable report. The
+// output is a pure function of the dump contents.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "guard dump at t=%v\n", d.SimTime)
+	next := "none"
+	if !d.HeapEmpty {
+		next = fmt.Sprint(d.NextEventAt)
+	}
+	fmt.Fprintf(cw, "  engine: %d events processed, %d pending, next at %s\n",
+		d.EventsProcessed, d.PendingEvents, next)
+	fmt.Fprintf(cw, "  ledger: submitted %d, completed %d, failed %d, in-flight %d (oldest age %v)\n",
+		d.Submitted, d.Completed, d.Failed, d.InFlightTotal, d.OldestAge)
+	for _, c := range d.InFlight {
+		op := "read"
+		if c.Write {
+			op = "write"
+		}
+		fmt.Fprintf(cw, "  stuck: cmd %d ini %d -> tgt %d %s %dB submitted t=%v age %v\n",
+			c.ID, c.Initiator, c.Target, op, c.Bytes, c.SubmittedAt, c.Age)
+	}
+	if d.InFlightTotal > len(d.InFlight) && len(d.InFlight) > 0 {
+		fmt.Fprintf(cw, "  ... and %d more in-flight commands\n", d.InFlightTotal-len(d.InFlight))
+	}
+	for _, ini := range d.Initiators {
+		fmt.Fprintf(cw, "  initiator %d: in-flight %d, retry-pending %d\n",
+			ini.ID, ini.InFlight, ini.RetryPending)
+	}
+	for _, t := range d.Targets {
+		fmt.Fprintf(cw, "  target %d: inflight %d, txq credit %d/%d (%d waiting), dev outstanding %d parked %d, arb pending %d\n",
+			t.ID, t.Inflight, t.TXQCredit, t.TXQCap, t.TXQWaiting,
+			t.DevOutstanding, t.DevParked, t.ArbPending)
+		for i, q := range t.SSQs {
+			fmt.Fprintf(cw, "    ssq %d: tokens r=%d w=%d pending r=%d w=%d\n",
+				i, q.RTokens, q.WTokens, q.PendingR, q.PendingW)
+		}
+	}
+	for _, l := range d.Links {
+		state := "up"
+		if l.Down {
+			state = "DOWN"
+		}
+		pause := ""
+		if l.Paused {
+			pause = " PAUSED"
+		}
+		fmt.Fprintf(cw, "  link %s: %s%s, queue %dB (%d pkts)\n",
+			l.Name, state, pause, l.QueueBytes, l.QueuePkts)
+	}
+	return cw.n, cw.err
+}
+
+// String renders the dump report as a string.
+func (d *Dump) String() string {
+	var sb strings.Builder
+	d.WriteTo(&sb)
+	return sb.String()
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"srcsim/internal/cluster"
 	"srcsim/internal/faults"
+	"srcsim/internal/nvmeof"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 )
@@ -52,6 +53,68 @@ func ChaosSpec() cluster.Spec {
 // counters.
 func ChaosSoak(tr *trace.Trace) (*cluster.Result, error) {
 	c, err := cluster.New(ChaosSpec())
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(tr, nil)
+}
+
+// HangStallHorizon is the liveness horizon used by the hang soak. It
+// must exceed the worst-case command lifetime under HangRetryPolicy
+// (4 attempts × 20 ms plus 2+4+8 ms of backoff ≈ 94 ms) so the
+// retry-armed leg finishes cleanly without tripping the watchdog.
+const HangStallHorizon = 150 * sim.Millisecond
+
+// HangRetryPolicy is the recovery policy for the hang soak's second
+// leg: aggressive enough that every command stuck behind the stall is
+// terminally accounted (failed) well inside HangStallHorizon.
+func HangRetryPolicy() nvmeof.RetryPolicy {
+	return nvmeof.RetryPolicy{
+		Timeout:     20 * sim.Millisecond,
+		MaxRetries:  3,
+		BackoffBase: 2 * sim.Millisecond,
+		BackoffCap:  8 * sim.Millisecond,
+	}
+}
+
+// HangSchedule is the pathological counterpart of ChaosSchedule: both
+// targets freeze command fetching 2 ms into the run and stay frozen far
+// past the liveness horizon, with no recovery armed. Without retries
+// the cluster wedges — every in-flight command ages forever — which is
+// exactly what the guard watchdog exists to catch.
+func HangSchedule() *faults.Schedule {
+	return &faults.Schedule{
+		Seed: 0xDEAD,
+		Events: []faults.Event{
+			{At: 2 * sim.Millisecond, Kind: faults.TargetStall, Where: "target:0",
+				Duration: 600 * sim.Millisecond},
+			{At: 2 * sim.Millisecond, Kind: faults.TargetStall, Where: "target:1",
+				Duration: 600 * sim.Millisecond},
+		},
+	}
+}
+
+// HangSpec is CongestionSpec with HangSchedule installed and the
+// liveness watchdog armed (the auditor stays on from CongestionSpec).
+func HangSpec() cluster.Spec {
+	spec := CongestionSpec()
+	spec.Faults = HangSchedule()
+	spec.Horizon = sim.Second
+	spec.Guard.StallHorizon = HangStallHorizon
+	return spec
+}
+
+// HangSoak runs the hang scenario under the DCQCN-only baseline. With
+// withRetry false the run must wedge and return *guard.StallError whose
+// dump names the stuck commands; with withRetry true (HangRetryPolicy
+// armed) every stuck command fails over to the retry path and the run
+// completes without tripping the watchdog.
+func HangSoak(tr *trace.Trace, withRetry bool) (*cluster.Result, error) {
+	spec := HangSpec()
+	if withRetry {
+		spec.Retry = HangRetryPolicy()
+	}
+	c, err := cluster.New(spec)
 	if err != nil {
 		return nil, err
 	}

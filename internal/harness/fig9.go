@@ -7,6 +7,7 @@ import (
 
 	"srcsim/internal/core"
 	"srcsim/internal/devrun"
+	"srcsim/internal/guard"
 	"srcsim/internal/nvme"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
@@ -140,7 +141,28 @@ func Fig9DynamicControl(tpm *core.TPM, events []RateEvent, horizon sim.Time, see
 			ctl.OnRateEvent(eng.Now(), ev.DemandGbps*1e9)
 		})
 	}
+	// Conservation auditor on the single-device pipeline: read-only, so
+	// the figure is unperturbed; a violation aborts the experiment.
+	var auditErr error
+	stopAudit := eng.Ticker(sim.Millisecond, func() {
+		if auditErr != nil {
+			return
+		}
+		if vs := guard.Audit(ssq, dev); len(vs) > 0 {
+			auditErr = &guard.ViolationError{At: eng.Now(), Violations: vs}
+			eng.Stop()
+		}
+	})
 	eng.Run(horizon)
+	stopAudit()
+	if auditErr == nil {
+		if vs := guard.Audit(ssq, dev); len(vs) > 0 {
+			auditErr = &guard.ViolationError{At: eng.Now(), Violations: vs}
+		}
+	}
+	if auditErr != nil {
+		return nil, auditErr
+	}
 
 	res := &Fig9Result{}
 	toGbps := func(ts *stats.TimeSeries) []float64 {

@@ -20,6 +20,7 @@ import (
 	"srcsim/internal/cluster"
 	"srcsim/internal/core"
 	"srcsim/internal/devrun"
+	"srcsim/internal/guard"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/trace"
@@ -39,13 +40,17 @@ func TargetArrayConfig(cfg ssd.Config) ssd.Config {
 }
 
 // CongestionSpec returns the Sec. IV-D testbed: 1 initiator, 2 targets,
-// SSD-A arrays, 10 Gbps links.
+// SSD-A arrays, 10 Gbps links. The conservation auditor runs on every
+// harness experiment: audits are read-only, so they cannot perturb the
+// run, and a violation fails the experiment instead of skewing its
+// figures.
 func CongestionSpec() cluster.Spec {
 	return cluster.Spec{
 		Initiators: 1,
 		Targets:    2,
 		SSD:        TargetArrayConfig(ssd.ConfigA()),
 		LinkRate:   LinkRate,
+		Guard:      guard.Config{Audit: true},
 	}
 }
 

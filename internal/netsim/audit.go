@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"fmt"
+
+	"srcsim/internal/guard"
+)
+
+// AuditInvariants verifies the fabric's conservation invariants. It is
+// read-only and cheap (linear in ports + routing-table entries), so the
+// guard can run it periodically on the sim clock without perturbing the
+// run. Checked per port:
+//
+//   - byte conservation: QueueBytes equals the sum of queued data-packet
+//     sizes (the compacted-deque accounting cannot drift);
+//   - PFC ingress accounting never goes negative;
+//   - link-state symmetry: both directions of a link agree on down;
+//   - no packet is routed onto a down link: next-hop tables, which are
+//     recomputed on every link transition, never reference a down port;
+//   - a down port is never left mid-transmission pause accounting, and
+//     fabric-wide PFC resumes never exceed pauses.
+func (n *Network) AuditInvariants() []guard.Violation {
+	var vs []guard.Violation
+	for _, node := range n.nodes {
+		for pi, p := range node.ports {
+			tag := fmt.Sprintf("%s:p%d", node.Name, pi)
+			var sum int64
+			for _, pkt := range p.dataQ[p.dataHead:] {
+				sum += int64(pkt.Size)
+			}
+			if sum != p.QueueBytes {
+				vs = append(vs, guard.Violationf("netsim", "queue-byte-conservation",
+					"%s: QueueBytes %d but queued packets sum to %d", tag, p.QueueBytes, sum))
+			}
+			if node.ingressBytes[pi] < 0 {
+				vs = append(vs, guard.Violationf("netsim", "pfc-ingress-nonnegative",
+					"%s: ingressBytes %d < 0", tag, node.ingressBytes[pi]))
+			}
+			if p.down != p.peer.down {
+				vs = append(vs, guard.Violationf("netsim", "link-state-symmetry",
+					"%s: down=%v but peer %s:p%d down=%v",
+					tag, p.down, p.peer.node.Name, p.peer.index, p.peer.down))
+			}
+		}
+		for dst, hops := range node.nextHops {
+			for _, hi := range hops {
+				if node.ports[hi].down {
+					vs = append(vs, guard.Violationf("netsim", "no-route-via-down-link",
+						"%s: next hop to node %d uses down port p%d", node.Name, dst, hi))
+				}
+			}
+		}
+	}
+	if n.PFCResumes > n.PFCPauses {
+		vs = append(vs, guard.Violationf("netsim", "pfc-pause-resume-balance",
+			"resumes %d > pauses %d", n.PFCResumes, n.PFCPauses))
+	}
+	return vs
+}
+
+// LinkStates snapshots every port for the guard's diagnostic dump,
+// in deterministic (node, port) order.
+func (n *Network) LinkStates() []guard.LinkState {
+	var out []guard.LinkState
+	for _, node := range n.nodes {
+		for pi, p := range node.ports {
+			out = append(out, guard.LinkState{
+				Name:       fmt.Sprintf("%s:p%d->%s", node.Name, pi, p.peer.node.Name),
+				Down:       p.down,
+				Paused:     p.paused,
+				QueueBytes: p.QueueBytes,
+				QueuePkts:  p.DataQueueLen(),
+			})
+		}
+	}
+	return out
+}

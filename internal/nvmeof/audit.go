@@ -1,0 +1,103 @@
+package nvmeof
+
+import "srcsim/internal/guard"
+
+// AuditInvariants verifies the target's TXQ credit conservation and
+// in-flight command accounting. Read-only, O(units):
+//
+//   - exact credit conservation: txqCredit + creditHeld == txqCap —
+//     every byte of credit is either available or attributed to a
+//     specific in-flight read response, so a leak (a response that never
+//     returns its credit) is caught within one audit period;
+//   - credit never exceeds the cap, held credit never goes negative,
+//     and credit only goes negative while an oversize admission (a read
+//     larger than the whole cap) is outstanding;
+//   - in-flight census: the dedup window population equals the commands
+//     actually queued in the arbiters plus outstanding in the devices —
+//     a dangling window entry (replay-window leak) would block the
+//     command ID forever.
+func (t *Target) AuditInvariants() []guard.Violation {
+	var vs []guard.Violation
+	if t.txqCap > 0 {
+		if t.txqCredit+t.creditHeld != t.txqCap {
+			vs = append(vs, guard.Violationf("nvmeof", "txq-credit-conservation",
+				"credit %d + held %d != cap %d", t.txqCredit, t.creditHeld, t.txqCap))
+		}
+		if t.txqCredit > t.txqCap {
+			vs = append(vs, guard.Violationf("nvmeof", "txq-credit-cap",
+				"credit %d > cap %d", t.txqCredit, t.txqCap))
+		}
+		if t.creditHeld < 0 {
+			vs = append(vs, guard.Violationf("nvmeof", "txq-credit-held-nonnegative",
+				"held %d < 0", t.creditHeld))
+		}
+		if t.txqCredit < 0 && t.OversizeAdmits == 0 {
+			vs = append(vs, guard.Violationf("nvmeof", "txq-credit-nonnegative",
+				"credit %d < 0 with no oversize admissions", t.txqCredit))
+		}
+	}
+	var queued int
+	for _, u := range t.Units {
+		queued += u.Arb.Pending() + u.Dev.Outstanding()
+	}
+	if len(t.inflight) != queued {
+		vs = append(vs, guard.Violationf("nvmeof", "inflight-census",
+			"dedup window holds %d commands but arbiters+devices hold %d",
+			len(t.inflight), queued))
+	}
+	return vs
+}
+
+// InjectCreditLeak deliberately discards n bytes of TXQ credit without
+// touching the held-credit ledger, simulating a lost-ack leak. Test
+// hook for the conservation auditor: the leak breaks
+// txq-credit-conservation and must be caught within one audit period.
+func (t *Target) InjectCreditLeak(n int64) { t.txqCredit -= n }
+
+// InflightCount returns the dedup-window population (commands between
+// arrival and device completion).
+func (t *Target) InflightCount() int { return len(t.inflight) }
+
+// TXQCap returns the configured in-flight read-data budget.
+func (t *Target) TXQCap() int64 { return t.txqCap }
+
+// ParkedCompletions sums finished-but-unadmitted completions across the
+// target's devices: commands done with flash work but blocked on TXQ
+// credit.
+func (t *Target) ParkedCompletions() int {
+	var n int
+	for _, u := range t.Units {
+		n += u.Dev.Parked()
+	}
+	return n
+}
+
+// AuditInvariants verifies the initiator's retry-window accounting.
+// With a retry policy armed, every submitted command is either pending
+// or terminally accounted (completed or failed), and every expiry-timer
+// firing either retried or failed its command.
+func (ini *Initiator) AuditInvariants() []guard.Violation {
+	var vs []guard.Violation
+	terminal := ini.ReadsCompleted + ini.WritesCompleted + ini.FailedOps
+	if ini.retry.Enabled() {
+		if uint64(len(ini.pending))+terminal != ini.Submitted {
+			vs = append(vs, guard.Violationf("nvmeof", "retry-window-conservation",
+				"pending %d + completed %d + failed %d != submitted %d",
+				len(ini.pending), ini.ReadsCompleted+ini.WritesCompleted,
+				ini.FailedOps, ini.Submitted))
+		}
+		if ini.Timeouts != ini.Retries+ini.FailedOps {
+			vs = append(vs, guard.Violationf("nvmeof", "retry-timeout-accounting",
+				"timeouts %d != retries %d + failed %d",
+				ini.Timeouts, ini.Retries, ini.FailedOps))
+		}
+	} else if terminal > ini.Submitted {
+		vs = append(vs, guard.Violationf("nvmeof", "completion-overrun",
+			"completed+failed %d > submitted %d", terminal, ini.Submitted))
+	}
+	return vs
+}
+
+// PendingCount returns commands awaiting completion under the retry
+// policy (0 when the policy is disabled).
+func (ini *Initiator) PendingCount() int { return len(ini.pending) }

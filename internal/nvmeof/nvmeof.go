@@ -145,6 +145,13 @@ type Target struct {
 	// txqCreditLow is the credit low-water mark: how close the target
 	// came to (or how deeply it sat at) TXQ exhaustion.
 	txqCreditLow int64
+	// creditHeld mirrors credit currently held by in-flight read data, so
+	// the auditor can verify exact conservation: txqCredit + creditHeld
+	// == txqCap at every instant (see AuditInvariants).
+	creditHeld int64
+	// OversizeAdmits counts reads larger than the whole TXQ cap admitted
+	// via the anti-wedge clause; they legitimately drive credit negative.
+	OversizeAdmits uint64
 
 	// inflight tracks commands between arrival and device completion so
 	// retransmitted duplicates (the initiator timed out but the original
@@ -224,7 +231,11 @@ func (g *txqGate) Admit(c *nvme.Command) bool {
 	if t.txqCredit >= need || t.txqCredit == t.txqCap {
 		// The second clause prevents a request larger than the whole
 		// cap from wedging the pipeline.
+		if t.txqCredit < need {
+			t.OversizeAdmits++
+		}
 		t.txqCredit -= need
+		t.creditHeld += need
 		if t.txqCredit < t.txqCreditLow {
 			t.txqCreditLow = t.txqCredit
 		}
@@ -235,6 +246,7 @@ func (g *txqGate) Admit(c *nvme.Command) bool {
 
 // returnCredit releases TXQ credit and unblocks parked completions.
 func (t *Target) returnCredit(n int64) {
+	t.creditHeld -= n
 	t.txqCredit += n
 	if t.txqCredit > t.txqCap {
 		t.txqCredit = t.txqCap

@@ -104,6 +104,13 @@ type Engine struct {
 	// Processed counts events executed since construction; useful for
 	// progress reporting and as a runaway guard in tests.
 	Processed uint64
+
+	// interrupt hook: intrFn runs every intrEvery executed events inside
+	// Run. It is invoked between callbacks (never re-entrantly), so it
+	// may call Stop or inspect engine state safely.
+	intrEvery uint64
+	intrFn    func()
+	intrAcc   uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -156,6 +163,31 @@ func (e *Engine) Cancel(ev *Event) {
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether Stop was called since Run last started.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// NextEventAt returns the time of the earliest pending event; ok is
+// false when the queue is empty.
+func (e *Engine) NextEventAt() (at Time, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].At, true
+}
+
+// SetInterrupt installs fn to run every n executed events inside Run,
+// between callbacks. The hook is the bridge to wall-clock supervision:
+// it may read wall time, poll atomic cancellation flags, and call Stop,
+// none of which perturbs event ordering. n == 0 or fn == nil removes
+// the hook.
+func (e *Engine) SetInterrupt(n uint64, fn func()) {
+	if n == 0 || fn == nil {
+		e.intrEvery, e.intrFn, e.intrAcc = 0, nil, 0
+		return
+	}
+	e.intrEvery, e.intrFn, e.intrAcc = n, fn, 0
+}
+
 // Run executes events until the queue drains, the clock passes until, or
 // Stop is called. Events scheduled exactly at until are executed. The
 // clock is left at the last executed event (or until, if that is later
@@ -173,6 +205,13 @@ func (e *Engine) Run(until Time) {
 		fn := next.Fn
 		next.Fn = nil
 		e.exec(fn)
+		if e.intrFn != nil {
+			e.intrAcc++
+			if e.intrAcc >= e.intrEvery {
+				e.intrAcc = 0
+				e.intrFn()
+			}
+		}
 	}
 	if len(e.events) == 0 && e.now < until && until != MaxTime {
 		e.now = until

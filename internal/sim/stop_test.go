@@ -1,0 +1,147 @@
+package sim
+
+import "testing"
+
+// TestStopRunsNoFurtherCallbacks pins the cancellation contract: once a
+// callback calls Stop, no later callback runs in that Run invocation —
+// not even one scheduled at the very same instant.
+func TestStopRunsNoFurtherCallbacks(t *testing.T) {
+	e := NewEngine()
+	var ran []int
+	e.Schedule(10, func() { ran = append(ran, 1); e.Stop() })
+	e.Schedule(10, func() { ran = append(ran, 2) }) // same instant, later seq
+	e.Schedule(11, func() { ran = append(ran, 3) })
+	e.Run(100)
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("callbacks after Stop: ran = %v, want [1]", ran)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+// TestStopLeavesHeapConsistent checks that a stopped engine's heap
+// still holds exactly the unexecuted events, in order, and that a
+// resumed Run drains them deterministically.
+func TestStopLeavesHeapConsistent(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for i := 1; i <= 8; i++ {
+		at := Time(i * 10)
+		e.Schedule(at, func() {
+			ran = append(ran, at)
+			if at == 30 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(1000)
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d after stop at t=30, want 5", e.Pending())
+	}
+	if at, ok := e.NextEventAt(); !ok || at != 40 {
+		t.Fatalf("NextEventAt() = %v,%v, want 40,true", at, ok)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %v after stop, want 30", e.Now())
+	}
+	e.Run(1000)
+	want := []Time{10, 20, 30, 40, 50, 60, 70, 80}
+	if len(ran) != len(want) {
+		t.Fatalf("resume ran %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("resume order %v, want %v", ran, want)
+		}
+	}
+	if e.Stopped() {
+		t.Fatal("Stopped() sticky across Run: a fresh Run must clear it")
+	}
+}
+
+// TestStopRacedWithSameInstantEvent re-runs the same stop-at-an-instant
+// schedule repeatedly: the set of executed events must be identical
+// every time (the heap tiebreak is (At, seq), so a stop "racing" events
+// at its own timestamp resolves deterministically by insertion order).
+func TestStopRacedWithSameInstantEvent(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var ran []int
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Schedule(5, func() {
+				ran = append(ran, i)
+				if i == 7 {
+					e.Stop()
+				}
+			})
+		}
+		e.Run(100)
+		return ran
+	}
+	first := run()
+	if len(first) != 8 {
+		t.Fatalf("executed %d events, want 8 (0..7)", len(first))
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d executed %v, first run %v", trial, got, first)
+		}
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d executed %v, first run %v", trial, got, first)
+			}
+		}
+	}
+}
+
+// TestNextEventAtEmpty covers the empty-heap branch.
+func TestNextEventAtEmpty(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty heap reported an event")
+	}
+}
+
+// TestSetInterruptCadence verifies the interrupt hook fires every n
+// executed events, between callbacks, and can be removed.
+func TestSetInterruptCadence(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.SetInterrupt(10, func() { hits++ })
+	for i := 0; i < 95; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntilIdle()
+	if hits != 9 {
+		t.Fatalf("interrupt fired %d times over 95 events at n=10, want 9", hits)
+	}
+	e.SetInterrupt(0, nil)
+	for i := 100; i < 120; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntilIdle()
+	if hits != 9 {
+		t.Fatalf("removed interrupt still fired (hits=%d)", hits)
+	}
+}
+
+// TestSetInterruptCanStop is the guard wiring contract: an interrupt
+// hook may call Stop, and the engine halts before the next callback.
+func TestSetInterruptCanStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.SetInterrupt(5, func() { e.Stop() })
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(i), func() { ran++ })
+	}
+	e.Run(1000)
+	if ran != 5 {
+		t.Fatalf("ran %d events before interrupt-stop, want 5", ran)
+	}
+	if e.Pending() != 45 {
+		t.Fatalf("Pending() = %d, want 45", e.Pending())
+	}
+}

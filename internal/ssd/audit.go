@@ -1,0 +1,61 @@
+package ssd
+
+import "srcsim/internal/guard"
+
+// AuditInvariants verifies the device's occupancy and flash accounting.
+// All checks are counter-level (O(blocks) per die, no per-page scans),
+// read-only, and safe on the live sim clock:
+//
+//   - the queue-depth window: 0 <= outstanding <= QueueDepth, and parked
+//     completions never exceed outstanding (a parked command still holds
+//     its slot);
+//   - write-cache slots: 0 <= used <= slots;
+//   - per die: freePages equals totalPages minus programmed pages
+//     (sum of block writePtr), every block's validCount sits within
+//     [0, writePtr], and the summed valid pages equal the mapping-table
+//     size (each logical page maps to exactly one valid physical page).
+func (d *Device) AuditInvariants() []guard.Violation {
+	var vs []guard.Violation
+	if d.outstanding < 0 || d.outstanding > d.Cfg.QueueDepth {
+		vs = append(vs, guard.Violationf("ssd", "queue-depth-window",
+			"outstanding %d outside [0,%d]", d.outstanding, d.Cfg.QueueDepth))
+	}
+	if len(d.parked) > d.outstanding {
+		vs = append(vs, guard.Violationf("ssd", "parked-within-outstanding",
+			"parked %d > outstanding %d", len(d.parked), d.outstanding))
+	}
+	if d.wcache.used < 0 || d.wcache.used > d.wcache.slots {
+		vs = append(vs, guard.Violationf("ssd", "write-cache-slots",
+			"used %d outside [0,%d]", d.wcache.used, d.wcache.slots))
+	}
+	for _, die := range d.dies {
+		var programmed, valid int
+		for bi := range die.blocks {
+			b := &die.blocks[bi]
+			if b.validCount < 0 || b.validCount > b.writePtr {
+				vs = append(vs, guard.Violationf("ssd", "block-valid-count",
+					"die %d block %d: validCount %d outside [0,%d]",
+					die.index, bi, b.validCount, b.writePtr))
+			}
+			if b.writePtr < 0 || b.writePtr > die.pagesPerBlock {
+				vs = append(vs, guard.Violationf("ssd", "block-write-ptr",
+					"die %d block %d: writePtr %d outside [0,%d]",
+					die.index, bi, b.writePtr, die.pagesPerBlock))
+			}
+			programmed += b.writePtr
+			valid += b.validCount
+		}
+		if die.freePages != die.totalPages-programmed {
+			vs = append(vs, guard.Violationf("ssd", "free-page-conservation",
+				"die %d: freePages %d but totalPages %d - programmed %d = %d",
+				die.index, die.freePages, die.totalPages, programmed,
+				die.totalPages-programmed))
+		}
+		if valid != len(die.mapping) {
+			vs = append(vs, guard.Violationf("ssd", "valid-page-mapping",
+				"die %d: %d valid pages but %d mapping entries",
+				die.index, valid, len(die.mapping)))
+		}
+	}
+	return vs
+}
