@@ -6,6 +6,8 @@
 package srcsim_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -17,7 +19,10 @@ import (
 
 // Shared trained models: training is part of the pipeline but would
 // drown per-experiment timings if repeated every iteration, so each
-// benchmark that needs a TPM amortises it through a sync.Once.
+// benchmark that needs a TPM amortises it through a sync.Once. The
+// first failure is wrapped with which model failed and cached; later
+// benchmarks report that cached, contextualised error rather than
+// re-running the training.
 var (
 	tpmOnce sync.Once
 	tpmCong *core.TPM
@@ -28,16 +33,37 @@ var (
 func benchTPMs(b *testing.B) (*core.TPM, *core.TPM) {
 	b.Helper()
 	tpmOnce.Do(func() {
-		tpmCong, _, tpmErr = harness.TrainCongestionTPM(1000, 42)
-		if tpmErr != nil {
+		if tpmCong, _, tpmErr = harness.TrainCongestionTPM(1000, 42); tpmErr != nil {
+			tpmErr = fmt.Errorf("training shared congestion TPM: %w", tpmErr)
 			return
 		}
-		tpmFig9, _, tpmErr = devrun.TrainTPM(harness.Fig9Config(), 1000, 43)
+		if tpmFig9, _, tpmErr = devrun.TrainTPM(harness.Fig9Config(), 1000, 43); tpmErr != nil {
+			tpmErr = fmt.Errorf("training shared Fig. 9 TPM: %w", tpmErr)
+		}
 	})
 	if tpmErr != nil {
-		b.Fatal(tpmErr)
+		b.Fatalf("shared TPM unavailable: %v", tpmErr)
 	}
 	return tpmCong, tpmFig9
+}
+
+// heapHW tracks the peak live-heap bytes seen across benchmark
+// iterations; sampling pauses the timer so ns/op stays clean. Reported
+// as the heap-B metric and folded into BENCH_*.json by scripts/bench.sh.
+type heapHW uint64
+
+func (h *heapHW) sample(b *testing.B) {
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > uint64(*h) {
+		*h = heapHW(ms.HeapAlloc)
+	}
+	b.StartTimer()
+}
+
+func (h heapHW) report(b *testing.B) {
+	b.ReportMetric(float64(h), "heap-B")
 }
 
 // BenchmarkFig2Motivation regenerates the Fig. 2 analytic motivation
@@ -56,6 +82,7 @@ func BenchmarkFig2Motivation(b *testing.B) {
 // workload cells at w in {1, 4, 8}) on SSD-A.
 func BenchmarkFig5WeightSweep(b *testing.B) {
 	b.ReportAllocs()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.Fig5WeightSweep(ssd.ConfigA(), []int{1, 4, 8}, 1200, 1)
 		if err != nil {
@@ -64,13 +91,16 @@ func BenchmarkFig5WeightSweep(b *testing.B) {
 		if len(cells) != 48 {
 			b.Fatalf("cells %d", len(cells))
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkTableIRegressors regenerates the five-regressor accuracy
 // comparison on SSD-A micro samples.
 func BenchmarkTableIRegressors(b *testing.B) {
 	b.ReportAllocs()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.TableI(ssd.ConfigA(), 1000, 2)
 		if err != nil {
@@ -79,13 +109,16 @@ func BenchmarkTableIRegressors(b *testing.B) {
 		if len(rows) != 5 {
 			b.Fatalf("rows %d", len(rows))
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkTableIIICrossValidation regenerates the grouped
 // cross-validation over the four synthetic workload classes.
 func BenchmarkTableIIICrossValidation(b *testing.B) {
 	b.ReportAllocs()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.TableIII(ssd.ConfigA(), 800, 16, 3)
 		if err != nil {
@@ -94,7 +127,9 @@ func BenchmarkTableIIICrossValidation(b *testing.B) {
 		if len(rows) != 4 {
 			b.Fatalf("rows %d", len(rows))
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkFig7Throughput regenerates the Sec. IV-D congestion A/B run
@@ -103,6 +138,7 @@ func BenchmarkFig7Throughput(b *testing.B) {
 	tpm, _ := benchTPMs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Fig7Throughput(tpm, 800, uint64(7+i))
 		if err != nil {
@@ -111,7 +147,9 @@ func BenchmarkFig7Throughput(b *testing.B) {
 		if res.SRC.Completed != res.SRC.Submitted {
 			b.Fatal("incomplete run")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkFig8PauseNumber measures the same paired run but validates
@@ -120,6 +158,7 @@ func BenchmarkFig8PauseNumber(b *testing.B) {
 	tpm, _ := benchTPMs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Fig7Throughput(tpm, 800, uint64(17+i))
 		if err != nil {
@@ -132,7 +171,9 @@ func BenchmarkFig8PauseNumber(b *testing.B) {
 		if total == 0 {
 			b.Fatal("no pauses recorded")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkFig9DynamicControl regenerates the dynamic-adjustment
@@ -141,6 +182,7 @@ func BenchmarkFig9DynamicControl(b *testing.B) {
 	_, tpm := benchTPMs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Fig9DynamicControl(tpm, nil, 0, uint64(5+i))
 		if err != nil {
@@ -149,7 +191,9 @@ func BenchmarkFig9DynamicControl(b *testing.B) {
 		if len(res.Events) != 4 {
 			b.Fatal("event count")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkFig10Intensity regenerates the light/moderate/heavy
@@ -158,6 +202,7 @@ func BenchmarkFig10Intensity(b *testing.B) {
 	tpm, _ := benchTPMs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.Fig10Intensity(tpm, 0.04, uint64(13+i))
 		if err != nil {
@@ -166,7 +211,9 @@ func BenchmarkFig10Intensity(b *testing.B) {
 		if len(rows) != 3 {
 			b.Fatal("row count")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkTableIVIncast regenerates the in-cast ratio analysis
@@ -175,6 +222,7 @@ func BenchmarkTableIVIncast(b *testing.B) {
 	tpm, _ := benchTPMs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.TableIV(tpm, nil, 0.05, uint64(11+i))
 		if err != nil {
@@ -183,13 +231,16 @@ func BenchmarkTableIVIncast(b *testing.B) {
 		if len(rows) != 4 {
 			b.Fatal("row count")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }
 
 // BenchmarkTPMTraining measures the full training-sample collection and
 // random-forest fit for the congestion TPM.
 func BenchmarkTPMTraining(b *testing.B) {
 	b.ReportAllocs()
+	var hw heapHW
 	for i := 0; i < b.N; i++ {
 		tpm, _, err := harness.TrainCongestionTPM(800, uint64(i))
 		if err != nil {
@@ -198,5 +249,7 @@ func BenchmarkTPMTraining(b *testing.B) {
 		if !tpm.Trained() {
 			b.Fatal("untrained")
 		}
+		hw.sample(b)
 	}
+	hw.report(b)
 }

@@ -47,6 +47,9 @@ func TestTXQBackpressureAblation(t *testing.T) {
 // events — beats any of the static settings on aggregate. This is the
 // case for Alg. 1 over an intuitive static prioritisation.
 func TestStaticSSQSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full static-weight runs; skipped with -short")
+	}
 	tr := vdiTrace(t, 1200)
 	aggs := map[int]float64{}
 	writes := map[int]float64{}

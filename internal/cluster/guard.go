@@ -38,18 +38,27 @@ func (c *Cluster) AuditInvariants() []guard.Violation {
 func (c *Cluster) auditAll() []guard.Violation {
 	vs := c.AuditInvariants()
 	vs = append(vs, c.Net.AuditInvariants()...)
+	// Tags are only formatted for non-empty violation lists: the guard
+	// polls this on every audit tick, and the clean path must not allocate.
 	for i, ini := range c.Initiators {
-		vs = append(vs, guard.Tag(ini.AuditInvariants(), fmt.Sprintf("initiator %d", i))...)
+		if ivs := ini.AuditInvariants(); len(ivs) > 0 {
+			vs = append(vs, guard.Tag(ivs, fmt.Sprintf("initiator %d", i))...)
+		}
 	}
 	for ti, tn := range c.Targets {
-		vs = append(vs, guard.Tag(tn.T.AuditInvariants(), fmt.Sprintf("target %d", ti))...)
+		if tvs := tn.T.AuditInvariants(); len(tvs) > 0 {
+			vs = append(vs, guard.Tag(tvs, fmt.Sprintf("target %d", ti))...)
+		}
 		for di, dev := range tn.Devs {
-			tag := fmt.Sprintf("target %d dev %d", ti, di)
-			vs = append(vs, guard.Tag(dev.AuditInvariants(), tag)...)
+			if dvs := dev.AuditInvariants(); len(dvs) > 0 {
+				vs = append(vs, guard.Tag(dvs, fmt.Sprintf("target %d dev %d", ti, di))...)
+			}
 			// Arbiters are audited through the interface so every mode's
 			// scheduler that implements the check participates.
 			if a, ok := dev.Arbiter().(guard.Auditable); ok {
-				vs = append(vs, guard.Tag(a.AuditInvariants(), tag)...)
+				if avs := a.AuditInvariants(); len(avs) > 0 {
+					vs = append(vs, guard.Tag(avs, fmt.Sprintf("target %d dev %d", ti, di))...)
+				}
 			}
 		}
 	}

@@ -141,9 +141,13 @@ type RP struct {
 	timeStage     int
 	byteStage     int
 
-	alphaEv    *sim.Event
-	increaseEv *sim.Event
-	active     bool
+	alphaEv    sim.Handle
+	increaseEv sim.Handle
+	// Tick callbacks bound once so timer re-arms do not allocate a
+	// method-value closure per period.
+	alphaTickFn    func()
+	increaseTickFn func()
+	active         bool
 
 	// Counters.
 	CNPs          uint64
@@ -154,13 +158,16 @@ type RP struct {
 // NewRP returns a reaction point starting at line rate.
 func NewRP(eng *sim.Engine, cfg Config) *RP {
 	cfg = cfg.WithDefaults()
-	return &RP{
+	rp := &RP{
 		cfg:   cfg,
 		eng:   eng,
 		rc:    cfg.LineRate,
 		rt:    cfg.LineRate,
 		alpha: 1,
 	}
+	rp.alphaTickFn = rp.alphaTick
+	rp.increaseTickFn = rp.increaseTick
+	return rp
 }
 
 // Rate returns the current sending rate Rc in bits/s.
@@ -297,31 +304,29 @@ func (rp *RP) OnBytesSent(n int) {
 // stop themselves once the flow returns to line rate.
 func (rp *RP) armTimers() {
 	rp.active = true
-	if rp.alphaEv == nil {
-		rp.alphaEv = rp.eng.After(rp.cfg.AlphaTimer, rp.alphaTick)
+	if rp.alphaEv.Cancelled() {
+		rp.alphaEv = rp.eng.After(rp.cfg.AlphaTimer, rp.alphaTickFn)
 	}
-	if rp.increaseEv == nil {
-		rp.increaseEv = rp.eng.After(rp.cfg.IncreaseTimer, rp.increaseTick)
+	if rp.increaseEv.Cancelled() {
+		rp.increaseEv = rp.eng.After(rp.cfg.IncreaseTimer, rp.increaseTickFn)
 	}
 }
 
 func (rp *RP) alphaTick() {
-	rp.alphaEv = nil
 	if !rp.cnpSinceAlpha {
 		rp.alpha = (1 - rp.cfg.G) * rp.alpha
 	}
 	rp.cnpSinceAlpha = false
 	if rp.active {
-		rp.alphaEv = rp.eng.After(rp.cfg.AlphaTimer, rp.alphaTick)
+		rp.alphaEv = rp.eng.After(rp.cfg.AlphaTimer, rp.alphaTickFn)
 	}
 }
 
 func (rp *RP) increaseTick() {
-	rp.increaseEv = nil
 	rp.timeStage++
 	rp.increase()
 	if rp.active {
-		rp.increaseEv = rp.eng.After(rp.cfg.IncreaseTimer, rp.increaseTick)
+		rp.increaseEv = rp.eng.After(rp.cfg.IncreaseTimer, rp.increaseTickFn)
 	}
 }
 

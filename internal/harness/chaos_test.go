@@ -10,6 +10,9 @@ import (
 // submitted op must be accounted for, and the recovery machinery must
 // demonstrably have fired.
 func TestChaosSoakAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak; skipped with -short")
+	}
 	tr, err := VDITrace(7, 500)
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +52,9 @@ func TestChaosSoakAccounting(t *testing.T) {
 // requires byte-identical summaries: fault injection must be as
 // reproducible as the fault-free simulator.
 func TestChaosSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak, twice; skipped with -short")
+	}
 	run := func() []byte {
 		t.Helper()
 		tr, err := VDITrace(7, 500)

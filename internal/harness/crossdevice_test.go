@@ -14,6 +14,9 @@ import (
 // read-cut/write-boost at high w — even though their latencies, page
 // sizes, and queue depths differ widely.
 func TestWRRShapeAcrossTableIIDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every Table II device; skipped with -short")
+	}
 	for _, cfg := range []ssd.Config{ssd.ConfigA(), ssd.ConfigB(), ssd.ConfigC()} {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
@@ -53,6 +56,9 @@ func TestWRRShapeAcrossTableIIDevices(t *testing.T) {
 // also obtained for the other two types of SSDs" (Sec. IV-C): the
 // random-forest TPM self-validates well on SSD-B and SSD-C samples.
 func TestTPMAccuracyOnOtherDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a TPM per device; skipped with -short")
+	}
 	if testing.Short() {
 		t.Skip("cross-device TPM training is slow")
 	}

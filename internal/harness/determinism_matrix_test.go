@@ -1,0 +1,220 @@
+package harness
+
+// The determinism matrix: every harness experiment, at reduced scale,
+// re-run under the four combinations of GOMAXPROCS (1 vs default) and
+// event/packet/command pooling (on vs off). The simulation is
+// single-threaded by construction and the free lists are supposed to be
+// semantically invisible, so all four legs must produce byte-identical
+// JSON summaries. Any divergence means scheduling order leaked into
+// results (map iteration, goroutine interleaving in the parallel
+// sweeps) or a recycled object carried state across uses.
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"srcsim/internal/cluster"
+	"srcsim/internal/core"
+	"srcsim/internal/devrun"
+	"srcsim/internal/ml"
+	"srcsim/internal/sim"
+	"srcsim/internal/ssd"
+)
+
+// clusterDigest is the matrix's view of one cluster run: the standard
+// machine-readable summary plus the raw per-bucket series, which catch
+// divergence the aggregated digest would average away.
+type clusterDigest struct {
+	Summary   cluster.Summary `json:"summary"`
+	ReadGbps  []float64       `json:"read_gbps_series"`
+	WriteGbps []float64       `json:"write_gbps_series"`
+	Pauses    []float64       `json:"pauses_series"`
+}
+
+func digestRun(r *cluster.Result) clusterDigest {
+	return clusterDigest{
+		Summary:   r.Summary(),
+		ReadGbps:  r.ReadGbps,
+		WriteGbps: r.WriteGbps,
+		Pauses:    r.Pauses,
+	}
+}
+
+// matrixSuite runs every experiment at reduced scale and returns each
+// one's JSON summary, keyed by experiment name. The TPMs are trained
+// once outside the matrix (they are an input, and full training is
+// clamped to 2000 requests per run); training determinism is covered by
+// the train-probe entry, which collects device samples and fits a fresh
+// forest inside the leg, comparing the serialized model bytes.
+func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	put := func(name string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		out[name] = b
+	}
+
+	put("fig2", Fig2Motivation(DefaultFig2Params()))
+
+	cells, err := Fig5WeightSweep(ssd.ConfigA(), []int{4}, 300, 1)
+	if err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	put("fig5", cells)
+
+	// Train-probe: tiny spec set (Count below the full-training clamp),
+	// parallel sample collection, fresh forest, serialized model bytes.
+	// This stands in for the full TableI / TableIII / TPM-training runs,
+	// whose per-run request counts are clamped to 2000 and would cost
+	// ~20 s per leg: their sample-collection machinery is exactly this
+	// code path, and the regressor fits below are pure functions of the
+	// samples.
+	specs := []devrun.WorkloadSpec{
+		{InterArrival: 12 * sim.Microsecond, MeanSize: 24 << 10, Count: 600, Seed: 9},
+		{InterArrival: 20 * sim.Microsecond, MeanSize: 36 << 10, Count: 600, Seed: 10},
+	}
+	samples, err := devrun.CollectSamples(ssd.ConfigA(), specs, []int{1, 4}, 0)
+	if err != nil {
+		t.Fatalf("train-probe: collect: %v", err)
+	}
+	probe := &core.TPM{}
+	if err := probe.Train(samples); err != nil {
+		t.Fatalf("train-probe: train: %v", err)
+	}
+	var model bytes.Buffer
+	if err := probe.Save(&model); err != nil {
+		t.Fatalf("train-probe: save: %v", err)
+	}
+	out["train-probe"] = model.Bytes()
+
+	// Regressor probe: TableI's five estimator families fitted on the
+	// leg-local samples; self-accuracy floats must match bitwise.
+	factories := []func() ml.Regressor{
+		func() ml.Regressor { return &ml.LinearRegression{} },
+		func() ml.Regressor { return &ml.PolynomialRegression{} },
+		func() ml.Regressor { return &ml.KNNRegressor{K: 5} },
+		func() ml.Regressor { return &ml.DecisionTreeRegressor{Seed: 2} },
+		func() ml.Regressor { return &ml.RandomForestRegressor{Trees: 20, Seed: 2} },
+	}
+	var accs []float64
+	for _, factory := range factories {
+		reg := &core.TPM{NewRegressor: factory}
+		if err := reg.Train(samples); err != nil {
+			t.Fatalf("regressor-probe: %v", err)
+		}
+		accs = append(accs, reg.Accuracy(samples))
+	}
+	put("regressor-probe", accs)
+
+	res7, err := Fig7Throughput(tpmCong, 250, 7)
+	if err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+	put("fig7", []clusterDigest{digestRun(res7.Baseline), digestRun(res7.SRC)})
+
+	events := []RateEvent{
+		{At: 20 * sim.Millisecond, DemandGbps: 6},
+		{At: 40 * sim.Millisecond, DemandGbps: 10},
+	}
+	res9, err := Fig9DynamicControl(tpm9, events, 60*sim.Millisecond, 5)
+	if err != nil {
+		t.Fatalf("fig9: %v", err)
+	}
+	put("fig9", res9)
+
+	rows10, err := Fig10Intensity(tpmCong, 0.02, 13)
+	if err != nil {
+		t.Fatalf("fig10: %v", err)
+	}
+	var dig10 []clusterDigest
+	for _, r := range rows10 {
+		dig10 = append(dig10, digestRun(r.Result.Baseline), digestRun(r.Result.SRC))
+	}
+	put("fig10", dig10)
+
+	rowsIV, err := TableIV(tpmCong, nil, 0.02, 11)
+	if err != nil {
+		t.Fatalf("tableIV: %v", err)
+	}
+	put("tableIV", rowsIV)
+
+	trc, err := VDITrace(7, 200)
+	if err != nil {
+		t.Fatalf("chaos trace: %v", err)
+	}
+	resC, err := ChaosSoak(trc)
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	put("chaos", digestRun(resC))
+
+	trh, err := VDITrace(7, 150)
+	if err != nil {
+		t.Fatalf("hang trace: %v", err)
+	}
+	resH, err := HangSoak(trh, true)
+	if err != nil {
+		t.Fatalf("hang-retry: %v", err)
+	}
+	put("hang-retry", digestRun(resH))
+
+	return out
+}
+
+// TestDeterminismMatrix asserts that every experiment's JSON summary is
+// byte-identical across the GOMAXPROCS × pooling matrix.
+func TestDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix re-runs every experiment four times; skipped with -short")
+	}
+	tpmCong, tpm9 := testTPMs(t)
+
+	defaultProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(defaultProcs)
+	prevPool := sim.PoolingEnabled()
+	defer sim.SetPooling(prevPool)
+
+	legs := []struct {
+		name  string
+		procs int
+		pool  bool
+	}{
+		{"procs1-pool", 1, true},
+		{"procsN-pool", defaultProcs, true},
+		{"procs1-nopool", 1, false},
+		{"procsN-nopool", defaultProcs, false},
+	}
+
+	var ref map[string][]byte
+	for _, leg := range legs {
+		runtime.GOMAXPROCS(leg.procs)
+		sim.SetPooling(leg.pool)
+		got := matrixSuite(t, tpmCong, tpm9)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d experiments, reference has %d", leg.name, len(got), len(ref))
+		}
+		for name, want := range ref {
+			if !bytes.Equal(got[name], want) {
+				t.Errorf("%s: %s summary diverged from %s leg:\nref: %s\ngot: %s",
+					leg.name, name, legs[0].name, clip(want), clip(got[name]))
+			}
+		}
+	}
+}
+
+// clip truncates a JSON blob for failure output.
+func clip(b []byte) []byte {
+	if len(b) > 600 {
+		return append(append([]byte{}, b[:600]...), "..."...)
+	}
+	return b
+}

@@ -68,6 +68,9 @@ func TestHangSoakTripsWatchdog(t *testing.T) {
 // TestHangSoakDeterministic requires the watchdog trip itself — error
 // text and full diagnostic dump — to be byte-identical across two runs.
 func TestHangSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hang soak; skipped with -short")
+	}
 	run := func() []byte {
 		t.Helper()
 		tr, err := VDITrace(7, 300)
@@ -126,6 +129,9 @@ func TestHangSoakRecoversWithRetries(t *testing.T) {
 // summaries to parse as JSON with truncated: true and the artifact
 // fields intact.
 func TestFig7TruncatedEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("truncated full-scale Fig. 7 run; skipped with -short")
+	}
 	tpm, _ := testTPMs(t)
 	st := guard.NewStopper()
 	st.Stop("signal: interrupt")

@@ -75,6 +75,9 @@ func TestFig2CustomParams(t *testing.T) {
 }
 
 func TestFig5SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 5 sweep; skipped with -short")
+	}
 	cells, err := Fig5WeightSweep(ssd.ConfigA(), []int{1, 4}, 1200, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +113,9 @@ func TestFig5SweepShape(t *testing.T) {
 }
 
 func TestTableIRandomForestWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TableI training; skipped with -short")
+	}
 	rows, err := TableI(ssd.ConfigA(), 1000, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +143,9 @@ func TestTableIRandomForestWins(t *testing.T) {
 }
 
 func TestTableIIIAccuracies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TableIII cross-validation; skipped with -short")
+	}
 	rows, err := TableIII(ssd.ConfigA(), 800, 24, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -160,6 +169,9 @@ func TestTableIIIAccuracies(t *testing.T) {
 }
 
 func TestFig7SRCBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Fig. 7 A/B run; skipped with -short")
+	}
 	tpm, _ := testTPMs(t)
 	res, err := Fig7Throughput(tpm, 1200, 7)
 	if err != nil {
@@ -186,6 +198,9 @@ func TestFig7SRCBeatsBaseline(t *testing.T) {
 }
 
 func TestFig9ConvergesWithinPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 9 horizon; skipped with -short")
+	}
 	_, tpm := testTPMs(t)
 	res, err := Fig9DynamicControl(tpm, nil, 0, 5)
 	if err != nil {
@@ -226,6 +241,9 @@ func TestFig9ConvergesWithinPaperScale(t *testing.T) {
 }
 
 func TestFig10LightIsNeutralHeavyGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full intensity A/B runs; skipped with -short")
+	}
 	tpm, _ := testTPMs(t)
 	rows, err := Fig10Intensity(tpm, 0.06, 13)
 	if err != nil {
@@ -257,6 +275,9 @@ func TestFig10LightIsNeutralHeavyGains(t *testing.T) {
 }
 
 func TestTableIVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full in-cast A/B runs; skipped with -short")
+	}
 	tpm, _ := testTPMs(t)
 	rows, err := TableIV(tpm, nil, 0.08, 11)
 	if err != nil {
@@ -284,6 +305,9 @@ func TestTableIVShape(t *testing.T) {
 }
 
 func TestFeatureImportanceFlowSpeedDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the shared TPM training; skipped with -short")
+	}
 	tpm, _ := testTPMs(t)
 	names, weights, ok := FeatureImportanceReport(tpm)
 	if !ok {

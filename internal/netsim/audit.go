@@ -23,23 +23,24 @@ func (n *Network) AuditInvariants() []guard.Violation {
 	var vs []guard.Violation
 	for _, node := range n.nodes {
 		for pi, p := range node.ports {
-			tag := fmt.Sprintf("%s:p%d", node.Name, pi)
+			// Port tags are formatted inside the violation branches only:
+			// the clean-path poll must stay allocation-free.
 			var sum int64
 			for _, pkt := range p.dataQ[p.dataHead:] {
 				sum += int64(pkt.Size)
 			}
 			if sum != p.QueueBytes {
 				vs = append(vs, guard.Violationf("netsim", "queue-byte-conservation",
-					"%s: QueueBytes %d but queued packets sum to %d", tag, p.QueueBytes, sum))
+					"%s:p%d: QueueBytes %d but queued packets sum to %d", node.Name, pi, p.QueueBytes, sum))
 			}
 			if node.ingressBytes[pi] < 0 {
 				vs = append(vs, guard.Violationf("netsim", "pfc-ingress-nonnegative",
-					"%s: ingressBytes %d < 0", tag, node.ingressBytes[pi]))
+					"%s:p%d: ingressBytes %d < 0", node.Name, pi, node.ingressBytes[pi]))
 			}
 			if p.down != p.peer.down {
 				vs = append(vs, guard.Violationf("netsim", "link-state-symmetry",
-					"%s: down=%v but peer %s:p%d down=%v",
-					tag, p.down, p.peer.node.Name, p.peer.index, p.peer.down))
+					"%s:p%d: down=%v but peer %s:p%d down=%v",
+					node.Name, pi, p.down, p.peer.node.Name, p.peer.index, p.peer.down))
 			}
 		}
 		for dst, hops := range node.nextHops {

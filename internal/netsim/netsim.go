@@ -185,4 +185,11 @@ type Packet struct {
 	Payload any
 
 	ingress *Port // per-hop PFC attribution at the current switch
+
+	// tx and rx carry the packet's current port through the two hot-path
+	// engine events (serialisation done, propagation done) so those
+	// continuations are static functions taking the packet itself instead
+	// of per-packet closures.
+	tx *Port
+	rx *Port
 }

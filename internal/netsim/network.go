@@ -15,8 +15,14 @@ type Network struct {
 	eng   *sim.Engine
 	rng   *sim.RNG
 	nodes []*Node
-	flows map[int]*Flow
-	nextF int
+	flows []*Flow // indexed by Flow.ID
+
+	// pktFree recycles Packets: a frame is freed at each terminal point
+	// (host delivery, pause/resume consumption, drop, corruption discard)
+	// and reused for the next transmission, so the steady-state wire path
+	// allocates nothing. Gated by sim.PoolingEnabled at construction.
+	pktFree []*Packet
+	poolOn  bool
 
 	// chaosRNG drives injected packet loss/corruption. It is created
 	// lazily on the first SetLoss/SeedChaos call and drawn from only when
@@ -93,11 +99,32 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	return &Network{
-		Cfg:   cfg,
-		eng:   eng,
-		rng:   sim.NewRNG(cfg.Seed ^ 0x6e7374),
-		flows: make(map[int]*Flow),
+		Cfg:    cfg,
+		eng:    eng,
+		rng:    sim.NewRNG(cfg.Seed ^ 0x6e7374),
+		poolOn: sim.PoolingEnabled(),
 	}, nil
+}
+
+// allocPkt takes a zeroed Packet from the free list (or the heap).
+func (n *Network) allocPkt() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		pkt := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// freePkt returns a packet that has reached a terminal point. The packet
+// is zeroed here so a recycled frame can never leak ECN/Corrupted/Payload
+// state into its next flight.
+func (n *Network) freePkt(pkt *Packet) {
+	*pkt = Packet{}
+	if n.poolOn {
+		n.pktFree = append(n.pktFree, pkt)
+	}
 }
 
 // Engine returns the event engine.
@@ -171,6 +198,7 @@ type Port struct {
 	delay sim.Time // propagation
 
 	ctrlQ        []*Packet
+	ctrlHead     int
 	dataQ        []*Packet
 	dataHead     int
 	QueueBytes   int64
@@ -381,10 +409,10 @@ func (node *Node) sendPFC(in *Port, kind Kind) {
 			net.obs.pfcResumes.Inc()
 		}
 	}
-	in.enqueueCtrl(&Packet{
-		Src: node.ID, Dst: in.peer.node.ID,
-		Size: net.Cfg.CtrlPacketSize, Kind: kind,
-	})
+	pkt := net.allocPkt()
+	pkt.Src, pkt.Dst = node.ID, in.peer.node.ID
+	pkt.Size, pkt.Kind = net.Cfg.CtrlPacketSize, kind
+	in.enqueueCtrl(pkt)
 }
 
 // trySend starts transmitting the next eligible packet, if idle. A down
@@ -396,10 +424,14 @@ func (p *Port) trySend() {
 	}
 	var pkt *Packet
 	switch {
-	case len(p.ctrlQ) > 0:
-		pkt = p.ctrlQ[0]
-		p.ctrlQ[0] = nil
-		p.ctrlQ = p.ctrlQ[1:]
+	case p.ctrlHead < len(p.ctrlQ):
+		pkt = p.ctrlQ[p.ctrlHead]
+		p.ctrlQ[p.ctrlHead] = nil
+		p.ctrlHead++
+		if p.ctrlHead > 64 && p.ctrlHead*2 >= len(p.ctrlQ) {
+			p.ctrlQ = append(p.ctrlQ[:0], p.ctrlQ[p.ctrlHead:]...)
+			p.ctrlHead = 0
+		}
 	case p.dataHead < len(p.dataQ) && !p.paused:
 		pkt = p.dataQ[p.dataHead]
 		p.dataQ[p.dataHead] = nil
@@ -430,31 +462,52 @@ func (p *Port) trySend() {
 	if txTime < 1 {
 		txTime = 1
 	}
-	eng.After(txTime, func() {
-		p.transmitting = false
-		p.TxPackets++
-		p.TxBytes += uint64(pkt.Size)
-		net := p.node.net
-		if p.down {
-			// The link failed while the frame was being serialised.
-			net.DroppedPackets++
-			return
-		}
-		if p.dropProb > 0 && net.chaos().Float64() < p.dropProb {
-			net.DroppedPackets++
-			p.trySend()
-			return
-		}
-		if p.corruptProb > 0 && net.chaos().Float64() < p.corruptProb {
-			pkt.Corrupted = true
-			net.CorruptedPackets++
-		}
-		peer := p.peer
-		eng.After(p.delay, func() {
-			peer.node.receive(pkt, peer)
-		})
+	pkt.tx = p
+	eng.AfterArg(txTime, portTxDone, pkt)
+}
+
+// portTxDone resumes a frame whose serialisation just finished on pkt.tx.
+func portTxDone(x any) {
+	pkt := x.(*Packet)
+	p := pkt.tx
+	pkt.tx = nil
+	p.txDone(pkt)
+}
+
+// deliverPkt hands a propagated frame to the node behind pkt.rx.
+func deliverPkt(x any) {
+	pkt := x.(*Packet)
+	in := pkt.rx
+	pkt.rx = nil
+	in.node.receive(pkt, in)
+}
+
+// txDone completes one frame's serialisation: account it, apply injected
+// faults, and put it on the wire toward the peer.
+func (p *Port) txDone(pkt *Packet) {
+	p.transmitting = false
+	p.TxPackets++
+	p.TxBytes += uint64(pkt.Size)
+	net := p.node.net
+	if p.down {
+		// The link failed while the frame was being serialised.
+		net.DroppedPackets++
+		net.freePkt(pkt)
+		return
+	}
+	if p.dropProb > 0 && net.chaos().Float64() < p.dropProb {
+		net.DroppedPackets++
+		net.freePkt(pkt)
 		p.trySend()
-	})
+		return
+	}
+	if p.corruptProb > 0 && net.chaos().Float64() < p.corruptProb {
+		pkt.Corrupted = true
+		net.CorruptedPackets++
+	}
+	pkt.rx = p.peer
+	net.eng.AfterArg(p.delay, deliverPkt, pkt)
+	p.trySend()
 }
 
 // DataQueueLen returns the number of waiting data packets.
@@ -465,18 +518,22 @@ func (p *Port) Paused() bool { return p.paused }
 
 // receive handles a packet arriving at node on port in.
 func (node *Node) receive(pkt *Packet, in *Port) {
+	net := node.net
 	if pkt.Corrupted {
 		// Failed FCS check: the frame is discarded at line ingress, so it
 		// neither pauses, resumes, nor delivers anything.
+		net.freePkt(pkt)
 		return
 	}
 	switch pkt.Kind {
 	case PauseFrame:
 		node.PFCPausesRx++
 		in.pause()
+		net.freePkt(pkt)
 		return
 	case ResumeFrame:
 		in.resume()
+		net.freePkt(pkt)
 		return
 	}
 	if pkt.Dst == node.ID {
@@ -484,6 +541,7 @@ func (node *Node) receive(pkt *Packet, in *Port) {
 			panic(fmt.Sprintf("netsim: packet addressed to switch %s", node.Name))
 		}
 		node.NIC.receive(pkt)
+		net.freePkt(pkt)
 		return
 	}
 	// Forward.
@@ -492,9 +550,9 @@ func (node *Node) receive(pkt *Packet, in *Port) {
 	if egress == nil {
 		// No surviving path (links down): the fabric sheds the packet and
 		// end-to-end recovery (NVMe-oF retry) takes over.
-		net := node.net
 		net.RouteDrops++
 		net.DroppedPackets++
+		net.freePkt(pkt)
 		return
 	}
 	if pkt.Kind == Data {

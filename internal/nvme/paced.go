@@ -33,7 +33,8 @@ type Paced struct {
 	burstBits  float64
 
 	reads, writes fifo
-	wake          *sim.Event
+	wake          sim.Handle
+	fireKickFn    func()
 
 	// Counters.
 	DispatchedReads, DispatchedWrites uint64
@@ -46,10 +47,12 @@ func NewPaced(eng *sim.Engine, burstBytes int) *Paced {
 	if burstBytes <= 0 {
 		burstBytes = 256 << 10
 	}
-	return &Paced{
+	p := &Paced{
 		eng:       eng,
 		burstBits: float64(burstBytes) * 8,
 	}
+	p.fireKickFn = p.fireKick
+	return p
 }
 
 // SetReadRate updates the read dispatch budget in bits/s (0 disables
@@ -135,10 +138,7 @@ func (p *Paced) readAllowed() bool {
 
 // scheduleWake arms a wake-up for when the head read's tokens arrive.
 func (p *Paced) scheduleWake() {
-	if p.wake != nil {
-		p.eng.Cancel(p.wake)
-		p.wake = nil
-	}
+	p.eng.Cancel(p.wake)
 	if p.readBps <= 0 || p.reads.Empty() || p.Kicker == nil {
 		return
 	}
@@ -149,18 +149,17 @@ func (p *Paced) scheduleWake() {
 	}
 	if need <= 0 {
 		// Dispatchable now; poke the device asynchronously.
-		p.wake = p.eng.After(0, p.fireKick)
+		p.wake = p.eng.After(0, p.fireKickFn)
 		return
 	}
 	delay := sim.Time(need / p.readBps * float64(sim.Second))
 	if delay < 1 {
 		delay = 1
 	}
-	p.wake = p.eng.After(delay, p.fireKick)
+	p.wake = p.eng.After(delay, p.fireKickFn)
 }
 
 func (p *Paced) fireKick() {
-	p.wake = nil
 	if p.Kicker != nil {
 		p.Kicker()
 	}
@@ -183,5 +182,5 @@ func (p *Paced) String() string {
 
 // DebugState exposes internals for diagnostics.
 func (p *Paced) DebugState() (tokens float64, lastRefill sim.Time, wakeArmed, hasKicker bool) {
-	return p.tokens, p.lastRefill, p.wake != nil, p.Kicker != nil
+	return p.tokens, p.lastRefill, !p.wake.Cancelled(), p.Kicker != nil
 }

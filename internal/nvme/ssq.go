@@ -44,7 +44,10 @@ type SSQ struct {
 
 	// inQueue maps each 4 KiB-aligned block with at least one waiting
 	// command to (queue index, waiter count) for the consistency check.
+	// refSum mirrors the sum of all counts so the auditor never has to
+	// walk the map on the hot path.
 	inQueue map[uint64]blockRef
+	refSum  int
 
 	// Counters for tests and metrics.
 	FetchedReads, FetchedWrites uint64
@@ -157,6 +160,7 @@ func (s *SSQ) Submit(c *Command) {
 			ref.queue = target
 		}
 		ref.count++
+		s.refSum++
 		// All same-block waiters sit in ref.queue by construction; keep
 		// the original queue so later arrivals follow the chain.
 		s.inQueue[b] = ref
@@ -252,6 +256,7 @@ func (s *SSQ) release(c *Command) {
 			continue
 		}
 		ref.count--
+		s.refSum--
 		if ref.count <= 0 {
 			delete(s.inQueue, b)
 		} else {

@@ -31,19 +31,75 @@ import (
 // CommandSize is the wire size of an NVMe-oF capsule (bytes).
 const CommandSize = 64
 
-// wireReq is the payload carried with a command to the target.
-type wireReq struct {
+// capsule is the payload riding a command to the target and back: the
+// request on the outbound leg, mutated in place into the response on the
+// return leg. One capsule makes the whole round trip and is recycled at
+// the owning initiator, so the steady-state command path allocates
+// nothing per I/O. Payloads travel as *capsule — a pointer in an
+// interface — which also avoids the boxing allocation the old value
+// payloads paid on every Send.
+type capsule struct {
 	Req  trace.Request
 	From netsim.NodeID
+
+	// Response leg.
+	ReadData bool
+
+	// TXQ credit attached to a read response (t nil = none). acked
+	// collapses the RDMA-level delivery acknowledgement and the leak-
+	// recovery timer into exactly one credit return.
+	t      *Target
+	credit int64
+	acked  bool
+	// timerArmed marks a capsule referenced by a pending credit-recovery
+	// timer: it must not be recycled (the timer callback would alias a
+	// reused capsule), so it is left to the garbage collector instead.
+	timerArmed bool
+
+	pool *capsulePool
 }
 
-// wireResp is the payload carried back to the initiator.
-type wireResp struct {
-	Req      trace.Request
-	ReadData bool
-	// ack returns TXQ credit to the target once the data is delivered
-	// (the RDMA-level acknowledgement, collapsed in-process).
-	ack func()
+// ackCredit returns the capsule's TXQ credit to its target, once.
+func (c *capsule) ackCredit() {
+	if c.t == nil || c.acked {
+		return
+	}
+	c.acked = true
+	c.t.returnCredit(c.credit)
+}
+
+// capsuleCreditExpire is the credit-leak recovery timer continuation: if
+// the read data carrying this capsule was lost on the wire, the delivery
+// ack never fires and this returns the credit instead.
+func capsuleCreditExpire(x any) { x.(*capsule).ackCredit() }
+
+// capsulePool recycles capsules per initiator; gated by
+// sim.PoolingEnabled at construction.
+type capsulePool struct {
+	free []*capsule
+	on   bool
+}
+
+func (p *capsulePool) get() *capsule {
+	if k := len(p.free); k > 0 {
+		c := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		return c
+	}
+	return &capsule{pool: p}
+}
+
+// put recycles a capsule that reached the end of its round trip. Capsules
+// with an armed recovery timer are skipped (see timerArmed).
+func (p *capsulePool) put(c *capsule) {
+	if c.timerArmed {
+		return
+	}
+	*c = capsule{pool: p}
+	if p.on {
+		p.free = append(p.free, c)
+	}
 }
 
 // RetryPolicy configures per-command expiry and retransmission at an
@@ -158,6 +214,13 @@ type Target struct {
 	// is still being served) are dropped instead of executed twice.
 	inflight map[dedupKey]struct{}
 
+	// cmdFree recycles nvme.Commands: a command is dead once the device's
+	// OnComplete fires (arbiters drop their references at Fetch), so the
+	// steady-state submission path reuses it. Gated by sim.PoolingEnabled
+	// at construction.
+	cmdFree []*nvme.Command
+	poolOn  bool
+
 	// creditTimeout, when positive, bounds how long delivered-but-lost
 	// read data may hold TXQ credit: if the initiator-side ack never
 	// arrives (the data was dropped on the wire), the credit is returned
@@ -205,6 +268,7 @@ func NewTarget(net *netsim.Network, node *netsim.Node, units []Unit, txqCap int6
 		ackFlows:  make(map[netsim.NodeID]*netsim.Flow),
 		txqCap:    txqCap, txqCredit: txqCap, txqCreditLow: txqCap,
 		inflight: make(map[dedupKey]struct{}),
+		poolOn:   sim.PoolingEnabled(),
 	}
 	node.NIC.OnMessage = t.onMessage
 	for _, u := range units {
@@ -289,68 +353,82 @@ func (t *Target) unitOf(lba uint64) Unit {
 
 func (t *Target) eng() *sim.Engine { return t.Units[0].Dev.Engine() }
 
+func (t *Target) allocCmd() *nvme.Command {
+	if k := len(t.cmdFree); k > 0 {
+		cmd := t.cmdFree[k-1]
+		t.cmdFree[k-1] = nil
+		t.cmdFree = t.cmdFree[:k-1]
+		return cmd
+	}
+	return &nvme.Command{}
+}
+
+func (t *Target) freeCmd(cmd *nvme.Command) {
+	*cmd = nvme.Command{}
+	if t.poolOn {
+		t.cmdFree = append(t.cmdFree, cmd)
+	}
+}
+
 func (t *Target) onMessage(_ *netsim.Flow, _ uint64, _ int, payload any) {
-	wr, ok := payload.(wireReq)
+	c, ok := payload.(*capsule)
 	if !ok {
 		panic(fmt.Sprintf("nvmeof: target %s received unexpected payload %T", t.Node.Name, payload))
 	}
-	key := dedupKey{from: wr.From, id: wr.Req.ID}
+	key := dedupKey{from: c.From, id: c.Req.ID}
 	if _, dup := t.inflight[key]; dup {
 		t.DupsDropped++
+		c.pool.put(c)
 		return
 	}
 	t.inflight[key] = struct{}{}
 	now := t.eng().Now()
 	if t.OnCommandArrive != nil {
-		t.OnCommandArrive(wr.Req, now)
+		t.OnCommandArrive(c.Req, now)
 	}
-	u := t.unitOf(wr.Req.LBA)
-	u.Arb.Submit(&nvme.Command{
-		ID:        wr.Req.ID,
-		Op:        wr.Req.Op,
-		LBA:       wr.Req.LBA,
-		Size:      wr.Req.Size,
-		Submitted: now,
-		UserData:  wr,
-	})
+	u := t.unitOf(c.Req.LBA)
+	cmd := t.allocCmd()
+	cmd.ID = c.Req.ID
+	cmd.Op = c.Req.Op
+	cmd.LBA = c.Req.LBA
+	cmd.Size = c.Req.Size
+	cmd.Submitted = now
+	cmd.UserData = c
+	u.Arb.Submit(cmd)
 	u.Dev.Kick()
 }
 
-func (t *Target) onDeviceComplete(c *nvme.Command) {
-	wr := c.UserData.(wireReq)
+func (t *Target) onDeviceComplete(cmd *nvme.Command) {
+	c := cmd.UserData.(*capsule)
 	now := t.eng().Now()
-	delete(t.inflight, dedupKey{from: wr.From, id: wr.Req.ID})
-	if c.Op == trace.Read {
+	delete(t.inflight, dedupKey{from: c.From, id: c.Req.ID})
+	op, size := cmd.Op, cmd.Size
+	t.freeCmd(cmd)
+	if op == trace.Read {
 		t.ReadsServed++
-		data := t.flowTo(t.dataFlows, wr.From, true)
-		resp := wireResp{Req: wr.Req, ReadData: true}
+		data := t.flowTo(t.dataFlows, c.From, true)
+		c.ReadData = true
 		if t.txqCap > 0 {
-			size := int64(c.Size)
-			returned := false
-			ret := func() {
-				if returned {
-					return
-				}
-				returned = true
-				t.returnCredit(size)
-			}
-			resp.ack = ret
+			c.t = t
+			c.credit = int64(size)
 			if t.creditTimeout > 0 {
 				// Leak recovery: if the data message is lost on the wire,
 				// the initiator-side ack never fires; without this timer
 				// the credit is gone for good and the devices wedge.
-				t.eng().After(t.creditTimeout, ret)
+				c.timerArmed = true
+				t.eng().AfterArg(t.creditTimeout, capsuleCreditExpire, c)
 			}
 		}
-		data.Send(c.Size+CommandSize, resp)
+		data.Send(size+CommandSize, c)
 		return
 	}
 	t.WritesServed++
 	if t.OnWriteComplete != nil {
-		t.OnWriteComplete(wr.Req, now)
+		t.OnWriteComplete(c.Req, now)
 	}
-	ack := t.flowTo(t.ackFlows, wr.From, false)
-	ack.Send(CommandSize, wireResp{Req: wr.Req})
+	ack := t.flowTo(t.ackFlows, c.From, false)
+	c.ReadData = false
+	ack.Send(CommandSize, c)
 }
 
 // flowTo lazily creates the per-initiator return flow, attaching the
@@ -422,6 +500,7 @@ type Initiator struct {
 
 	retry   RetryPolicy
 	pending map[uint64]*pendingOp
+	caps    capsulePool
 
 	// Counters.
 	ReadBytesReceived int64
@@ -442,10 +521,11 @@ type Initiator struct {
 // pendingOp is an in-flight command awaiting completion under a retry
 // policy.
 type pendingOp struct {
+	ini     *Initiator
 	req     trace.Request
 	target  *netsim.Node
 	attempt int
-	timer   *sim.Event
+	timer   sim.Handle
 }
 
 // NewInitiator wires an initiator on the given host node.
@@ -455,6 +535,7 @@ func NewInitiator(net *netsim.Network, eng *sim.Engine, node *netsim.Node) *Init
 		cmdFlows:   make(map[netsim.NodeID]*netsim.Flow),
 		writeFlows: make(map[netsim.NodeID]*netsim.Flow),
 	}
+	ini.caps.on = sim.PoolingEnabled()
 	node.NIC.OnMessage = ini.onMessage
 	return ini
 }
@@ -474,7 +555,7 @@ func (ini *Initiator) SetRetryPolicy(p RetryPolicy) {
 func (ini *Initiator) Submit(req trace.Request, target *netsim.Node) {
 	ini.Submitted++
 	if ini.retry.Enabled() {
-		op := &pendingOp{req: req, target: target}
+		op := &pendingOp{ini: ini, req: req, target: target}
 		ini.pending[req.ID] = op
 		ini.armTimer(op)
 	}
@@ -482,16 +563,34 @@ func (ini *Initiator) Submit(req trace.Request, target *netsim.Node) {
 }
 
 func (ini *Initiator) send(req trace.Request, target *netsim.Node) {
-	wr := wireReq{Req: req, From: ini.Node.ID}
+	c := ini.caps.get()
+	c.Req = req
+	c.From = ini.Node.ID
 	if req.Op == trace.Read {
-		ini.flowTo(ini.cmdFlows, target.ID).Send(CommandSize, wr)
+		ini.flowTo(ini.cmdFlows, target.ID).Send(CommandSize, c)
 		return
 	}
-	ini.flowTo(ini.writeFlows, target.ID).Send(CommandSize+req.Size, wr)
+	ini.flowTo(ini.writeFlows, target.ID).Send(CommandSize+req.Size, c)
 }
 
 func (ini *Initiator) armTimer(op *pendingOp) {
-	op.timer = ini.eng.After(ini.retry.Timeout, func() { ini.expire(op) })
+	op.timer = ini.eng.AfterArg(ini.retry.Timeout, pendingExpire, op)
+}
+
+func pendingExpire(x any) {
+	op := x.(*pendingOp)
+	op.ini.expire(op)
+}
+
+// pendingResend retransmits a timed-out command once its backoff elapses.
+func pendingResend(x any) {
+	op := x.(*pendingOp)
+	ini := op.ini
+	if ini.pending[op.req.ID] != op {
+		return // completed during the backoff wait
+	}
+	ini.send(op.req, op.target)
+	ini.armTimer(op)
 }
 
 // expire handles a command whose expiry timer fired: retransmit after a
@@ -511,13 +610,7 @@ func (ini *Initiator) expire(op *pendingOp) {
 	}
 	op.attempt++
 	ini.Retries++
-	ini.eng.After(ini.retry.backoff(op.attempt), func() {
-		if ini.pending[op.req.ID] != op {
-			return // completed during the backoff wait
-		}
-		ini.send(op.req, op.target)
-		ini.armTimer(op)
-	})
+	ini.eng.AfterArg(ini.retry.backoff(op.attempt), pendingResend, op)
 }
 
 // CollectMetrics folds the initiator's recovery counters into a metrics
@@ -543,35 +636,33 @@ func (ini *Initiator) flowTo(m map[netsim.NodeID]*netsim.Flow, dst netsim.NodeID
 }
 
 func (ini *Initiator) onMessage(_ *netsim.Flow, _ uint64, size int, payload any) {
-	resp, ok := payload.(wireResp)
+	c, ok := payload.(*capsule)
 	if !ok {
 		panic(fmt.Sprintf("nvmeof: initiator %s received unexpected payload %T", ini.Node.Name, payload))
 	}
 	if ini.retry.Enabled() {
-		op, ok := ini.pending[resp.Req.ID]
+		op, ok := ini.pending[c.Req.ID]
 		if !ok {
 			// Duplicate completion (a retransmit raced the original) or a
 			// completion for an already-abandoned command. Still return
 			// the TXQ credit — each response carries its own.
 			ini.StaleResponses++
-			if resp.ack != nil {
-				resp.ack()
-			}
+			c.ackCredit()
+			c.pool.put(c)
 			return
 		}
 		ini.eng.Cancel(op.timer)
-		delete(ini.pending, resp.Req.ID)
+		delete(ini.pending, c.Req.ID)
 	}
-	if resp.ReadData {
+	if c.ReadData {
 		ini.ReadsCompleted++
-		ini.ReadBytesReceived += int64(resp.Req.Size)
+		ini.ReadBytesReceived += int64(c.Req.Size)
 	} else {
 		ini.WritesCompleted++
 	}
 	if ini.OnComplete != nil {
-		ini.OnComplete(resp.Req, resp.ReadData, ini.eng.Now())
+		ini.OnComplete(c.Req, c.ReadData, ini.eng.Now())
 	}
-	if resp.ack != nil {
-		resp.ack()
-	}
+	c.ackCredit()
+	c.pool.put(c)
 }

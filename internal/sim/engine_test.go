@@ -100,7 +100,7 @@ func TestCancel(t *testing.T) {
 	ev := e.Schedule(10, func() { ran = true })
 	e.Cancel(ev)
 	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 	e.RunUntilIdle()
 	if ran {
 		t.Fatal("cancelled event ran")
@@ -110,7 +110,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(i), func() { got = append(got, i) }))

@@ -125,8 +125,9 @@ func (p *PanicError) Unwrap() error {
 }
 
 // site resolves a callback's runtime symbol; only called on the panic
-// path, so the reflection cost never touches normal event dispatch.
-func site(fn func()) string {
+// path, so the reflection cost never touches normal event dispatch. fn is
+// either a func() or a func(any).
+func site(fn any) string {
 	name := "unknown"
 	if f := runtime.FuncForPC(reflect.ValueOf(fn).Pointer()); f != nil {
 		name = f.Name()
@@ -137,7 +138,7 @@ func site(fn func()) string {
 // annotatePanic re-panics a recovered callback panic as a *PanicError
 // carrying sim-time and site context. Already-annotated panics (an
 // inner engine, a nested exec) pass through unchanged.
-func (e *Engine) annotatePanic(fn func()) {
+func (e *Engine) annotatePanic(fn any) {
 	r := recover()
 	if r == nil {
 		return
@@ -146,6 +147,17 @@ func (e *Engine) annotatePanic(fn func()) {
 		panic(pe)
 	}
 	panic(&PanicError{At: e.now, Site: site(fn), Value: r})
+}
+
+// record accounts one callback's wall time to its site while profiling.
+func (e *Engine) record(pc uintptr, dt time.Duration) {
+	s := e.prof.sites[pc]
+	if s == nil {
+		s = &siteStat{}
+		e.prof.sites[pc] = s
+	}
+	s.count++
+	s.wall += dt
 }
 
 // exec runs one event callback, accounting it to its site when
@@ -161,12 +173,19 @@ func (e *Engine) exec(fn func()) {
 	pc := reflect.ValueOf(fn).Pointer()
 	t0 := time.Now()
 	fn()
-	dt := time.Since(t0)
-	s := e.prof.sites[pc]
-	if s == nil {
-		s = &siteStat{}
-		e.prof.sites[pc] = s
+	e.record(pc, time.Since(t0))
+}
+
+// execArg is exec for arg-carrying callbacks.
+func (e *Engine) execArg(fn func(any), arg any) {
+	e.Processed++
+	defer e.annotatePanic(fn)
+	if e.prof == nil {
+		fn(arg)
+		return
 	}
-	s.count++
-	s.wall += dt
+	pc := reflect.ValueOf(fn).Pointer()
+	t0 := time.Now()
+	fn(arg)
+	e.record(pc, time.Since(t0))
 }

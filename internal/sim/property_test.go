@@ -1,0 +1,344 @@
+package sim
+
+// Property-based tests for the event engine: seeded randomized schedules
+// (insert / cancel / reschedule / interrupt mixes) are executed on the
+// real 4-ary indexed-heap engine while a naive sorted-slice reference
+// model shadows every operation. The engine must dispatch in exactly the
+// reference order — time-ascending, FIFO-stable within an instant — and
+// the heap must satisfy its structural invariants after every step.
+// Pool-safety tests prove a recycled Event is never observable through a
+// stale Handle.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shadowEv is one entry of the reference model: a plain slice popped by
+// linear minimum scan on (at, seq) — trivially correct, no heap logic.
+type shadowEv struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+// shadow mirrors every schedule/cancel the test performs on the engine.
+type shadow struct {
+	events []shadowEv
+	seq    uint64 // must advance in lockstep with Engine.seq
+}
+
+func (s *shadow) schedule(at Time, id int) {
+	s.events = append(s.events, shadowEv{at: at, seq: s.seq, id: id})
+	s.seq++
+}
+
+// popMin removes and returns the (at, seq)-minimum entry.
+func (s *shadow) popMin() shadowEv {
+	m := 0
+	for i := 1; i < len(s.events); i++ {
+		e, best := s.events[i], s.events[m]
+		if e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+			m = i
+		}
+	}
+	ev := s.events[m]
+	s.events = append(s.events[:m], s.events[m+1:]...)
+	return ev
+}
+
+func (s *shadow) cancel(id int) bool {
+	for i, e := range s.events {
+		if e.id == id {
+			s.events = append(s.events[:i], s.events[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// verifyHeap checks the 4-ary heap ordering property and the idx
+// back-pointers of every pending event.
+func verifyHeap(t *testing.T, e *Engine) {
+	t.Helper()
+	h := e.events
+	for i, ev := range h {
+		if int(ev.idx) != i {
+			t.Fatalf("heap[%d] has idx %d", i, ev.idx)
+		}
+		if i == 0 {
+			continue
+		}
+		p := h[(i-1)>>2]
+		if ev.at < p.at || (ev.at == p.at && ev.seq < p.seq) {
+			t.Fatalf("heap violation: child %d (at=%d seq=%d) < parent (at=%d seq=%d)",
+				i, ev.at, ev.seq, p.at, p.seq)
+		}
+	}
+}
+
+// propHarness drives one randomized schedule against engine + shadow.
+type propHarness struct {
+	t      *testing.T
+	e      *Engine
+	s      shadow
+	rng    *rand.Rand
+	live   map[int]Handle // scheduled-but-unfired, by id
+	nextID int
+	order  []int // dispatch order actually observed
+	budget int   // callbacks may keep scheduling until this runs out
+}
+
+func (p *propHarness) schedule(at Time) {
+	id := p.nextID
+	p.nextID++
+	// Alternate the two schedule forms so both fn and (fn, arg) events
+	// interleave in the same queue.
+	if id%2 == 0 {
+		p.live[id] = p.e.Schedule(at, func() { p.fired(id) })
+	} else {
+		p.live[id] = p.e.ScheduleArg(at, func(x any) { p.fired(x.(int)) }, id)
+	}
+	p.s.schedule(at, id)
+}
+
+// fired is every event's callback: check against the reference order,
+// then randomly mutate the pending schedule (insert / cancel /
+// reschedule), mirroring each mutation in the shadow.
+func (p *propHarness) fired(id int) {
+	want := p.s.popMin()
+	if want.id != id {
+		p.t.Fatalf("dispatch #%d: engine ran event %d, reference expects %d (at=%d seq=%d)",
+			len(p.order), id, want.id, want.at, want.seq)
+	}
+	if p.e.Now() != want.at {
+		p.t.Fatalf("dispatch #%d: clock %d, reference expects %d", len(p.order), p.e.Now(), want.at)
+	}
+	delete(p.live, id)
+	p.order = append(p.order, id)
+	verifyHeap(p.t, p.e)
+
+	for p.budget > 0 && p.rng.Intn(3) == 0 {
+		p.budget--
+		switch p.rng.Intn(4) {
+		case 0: // insert at a future instant
+			p.schedule(p.e.Now() + Time(p.rng.Intn(50)+1))
+		case 1: // insert at the current instant (same-instant batch growth)
+			p.schedule(p.e.Now())
+		case 2: // cancel a random live event
+			if cid, ok := p.randomLive(); ok {
+				p.e.Cancel(p.live[cid])
+				if !p.s.cancel(cid) {
+					p.t.Fatalf("shadow lost track of live event %d", cid)
+				}
+				delete(p.live, cid)
+				verifyHeap(p.t, p.e)
+			}
+		case 3: // reschedule: cancel + reinsert later
+			if cid, ok := p.randomLive(); ok {
+				p.e.Cancel(p.live[cid])
+				if !p.s.cancel(cid) {
+					p.t.Fatalf("shadow lost track of live event %d", cid)
+				}
+				delete(p.live, cid)
+				p.schedule(p.e.Now() + Time(p.rng.Intn(80)))
+			}
+		}
+	}
+}
+
+// randomLive picks a live event id deterministically: ids are drawn by
+// scanning upward from a random point, not by map iteration order.
+func (p *propHarness) randomLive() (int, bool) {
+	if len(p.live) == 0 {
+		return 0, false
+	}
+	start := p.rng.Intn(p.nextID)
+	for i := 0; i < p.nextID; i++ {
+		if _, ok := p.live[(start+i)%p.nextID]; ok {
+			return (start + i) % p.nextID, true
+		}
+	}
+	return 0, false
+}
+
+func runProperty(t *testing.T, seed int64, initial, budget int, interruptEvery uint64) []int {
+	t.Helper()
+	p := &propHarness{
+		t:      t,
+		e:      NewEngine(),
+		rng:    rand.New(rand.NewSource(seed)),
+		live:   map[int]Handle{},
+		budget: budget,
+	}
+	if interruptEvery > 0 {
+		p.e.SetInterrupt(interruptEvery, func() {})
+	}
+	for i := 0; i < initial; i++ {
+		// Clustered times force plenty of (at, seq) ties.
+		p.schedule(Time(p.rng.Intn(initial / 2)))
+	}
+	p.e.RunUntilIdle()
+	if len(p.s.events) != 0 {
+		t.Fatalf("engine drained but reference still holds %d events", len(p.s.events))
+	}
+	if p.e.Pending() != 0 {
+		t.Fatalf("engine reports %d pending after drain", p.e.Pending())
+	}
+	return p.order
+}
+
+// TestPropertyDispatchOrder cross-checks randomized insert/cancel/
+// reschedule schedules against the sorted-slice reference across many
+// seeds, with and without an interrupt hook installed.
+func TestPropertyDispatchOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		runProperty(t, seed, 200, 300, 0)
+	}
+	// The interrupt hook runs between callbacks; it must never perturb
+	// dispatch order.
+	for seed := int64(100); seed < 110; seed++ {
+		with := runProperty(t, seed, 150, 200, 7)
+		without := runProperty(t, seed, 150, 200, 0)
+		if len(with) != len(without) {
+			t.Fatalf("seed %d: interrupt hook changed dispatch count %d vs %d",
+				seed, len(with), len(without))
+		}
+		for i := range with {
+			if with[i] != without[i] {
+				t.Fatalf("seed %d: interrupt hook changed dispatch order at #%d", seed, i)
+			}
+		}
+	}
+}
+
+// TestPropertyPoolOnOffEquivalence proves the Event free list is
+// semantically invisible: the same seeded schedule dispatches in the
+// same order with recycling on and off.
+func TestPropertyPoolOnOffEquivalence(t *testing.T) {
+	prev := PoolingEnabled()
+	defer SetPooling(prev)
+	for seed := int64(0); seed < 10; seed++ {
+		SetPooling(true)
+		on := runProperty(t, seed, 120, 150, 0)
+		SetPooling(false)
+		off := runProperty(t, seed, 120, 150, 0)
+		if len(on) != len(off) {
+			t.Fatalf("seed %d: pooled run dispatched %d events, unpooled %d", seed, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("seed %d: pooled and unpooled dispatch orders diverge at #%d", seed, i)
+			}
+		}
+	}
+}
+
+// TestStaleHandleAfterFire proves a handle goes stale the moment its
+// event fires and that cancelling it can never touch the recycled Event,
+// even after the Event object is reused for a new schedule.
+func TestStaleHandleAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	hA := e.After(5, func() { fired++ })
+	e.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+	if !hA.Cancelled() {
+		t.Fatal("handle must be stale after its event fires")
+	}
+	// The pooled Event object is now reused for B. A's stale handle
+	// aliases the same *Event but carries the old generation.
+	hB := e.After(5, func() { fired++ })
+	if hA.ev != nil && hB.ev != nil && hA.ev == hB.ev && hA.gen == hB.gen {
+		t.Fatal("recycle must bump the generation")
+	}
+	e.Cancel(hA) // must be a no-op on the recycled event
+	if hB.Cancelled() {
+		t.Fatal("cancelling a stale handle revoked an unrelated live event")
+	}
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("event B lost: fired %d", fired)
+	}
+}
+
+// TestStaleHandleAfterCancel proves double-cancel through an aliased
+// recycled Event is inert.
+func TestStaleHandleAfterCancel(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	hA := e.After(5, func() { t.Fatal("cancelled event ran") })
+	e.Cancel(hA)
+	if !hA.Cancelled() {
+		t.Fatal("handle must be stale after Cancel")
+	}
+	e.After(7, func() { fired++ }) // may occupy the recycled Event
+	e.Cancel(hA)                   // stale; must not revoke it
+	e.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("event B lost to stale double-cancel: fired %d", fired)
+	}
+}
+
+// TestSelfCancelInCallback: a callback cancelling its own (already
+// recycled) handle must not corrupt the queue.
+func TestSelfCancelInCallback(t *testing.T) {
+	e := NewEngine()
+	var h Handle
+	next := 0
+	h = e.After(1, func() {
+		e.Cancel(h) // self-cancel: stale by dispatch time
+		next++
+	})
+	e.After(2, func() { next++ })
+	e.RunUntilIdle()
+	if next != 2 {
+		t.Fatalf("ran %d callbacks, want 2", next)
+	}
+}
+
+// TestZeroHandleSafe: the zero Handle is inert everywhere.
+func TestZeroHandleSafe(t *testing.T) {
+	e := NewEngine()
+	var h Handle
+	if !h.Cancelled() {
+		t.Fatal("zero handle must read as cancelled")
+	}
+	e.Cancel(h)
+	e.After(1, func() {})
+	e.Cancel(h)
+	e.RunUntilIdle()
+}
+
+// TestPoolReuseChurn hammers alloc/recycle through a long chain of
+// fire-then-schedule cycles and verifies the free list actually bounds
+// allocation (every event beyond the first reuses the pooled object).
+func TestPoolReuseChurn(t *testing.T) {
+	prev := PoolingEnabled()
+	defer SetPooling(prev)
+	SetPooling(true)
+	e := NewEngine()
+	seen := map[*Event]struct{}{}
+	n := 0
+	var step func()
+	step = func() {
+		if n >= 1000 {
+			return
+		}
+		n++
+		h := e.After(1, step)
+		seen[h.ev] = struct{}{}
+	}
+	step()
+	e.RunUntilIdle()
+	if n != 1000 {
+		t.Fatalf("chain ran %d times", n)
+	}
+	// One event is in flight at a time: the whole chain must ride at most
+	// two distinct Event objects (the first plus at most one recycle split).
+	if len(seen) > 2 {
+		t.Fatalf("chain of 1000 one-shot events used %d Event objects; free list broken", len(seen))
+	}
+}

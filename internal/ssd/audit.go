@@ -20,9 +20,9 @@ func (d *Device) AuditInvariants() []guard.Violation {
 		vs = append(vs, guard.Violationf("ssd", "queue-depth-window",
 			"outstanding %d outside [0,%d]", d.outstanding, d.Cfg.QueueDepth))
 	}
-	if len(d.parked) > d.outstanding {
+	if d.Parked() > d.outstanding {
 		vs = append(vs, guard.Violationf("ssd", "parked-within-outstanding",
-			"parked %d > outstanding %d", len(d.parked), d.outstanding))
+			"parked %d > outstanding %d", d.Parked(), d.outstanding))
 	}
 	if d.wcache.used < 0 || d.wcache.used > d.wcache.slots {
 		vs = append(vs, guard.Violationf("ssd", "write-cache-slots",

@@ -3,44 +3,61 @@ package ssd
 // lruCache is the cached mapping table (CMT): a fixed-capacity LRU set of
 // logical page numbers whose mapping entries are resident in DRAM. A miss
 // costs a mapping-page read on the owning die (charged by the caller).
+//
+// Nodes live in a pointer-free arena addressed by index: Access runs on
+// every mapping lookup, so the cache must be invisible to the garbage
+// collector (a pointer-linked list this size makes every GC scan walk
+// the whole table).
 type lruCache struct {
 	capacity int
-	entries  map[uint64]*lruNode
-	head     *lruNode // most recent
-	tail     *lruNode // least recent
+	entries  map[uint64]int32 // key -> arena index
+	arena    []lruNode
+	head     int32 // most recent, -1 when empty
+	tail     int32 // least recent, -1 when empty
 
 	Hits, Misses uint64
 }
 
 type lruNode struct {
 	key        uint64
-	prev, next *lruNode
+	prev, next int32
 }
 
 func newLRUCache(capacity int) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruCache{capacity: capacity, entries: make(map[uint64]*lruNode, capacity)}
+	return &lruCache{
+		capacity: capacity,
+		entries:  make(map[uint64]int32, capacity),
+		head:     -1,
+		tail:     -1,
+	}
 }
 
 // Access touches key and reports whether it was resident. On a miss the
-// key is inserted (evicting the LRU entry if full).
+// key is inserted (evicting the LRU entry if full). At capacity — the
+// steady state — the evicted node is reused for the inserted key, so a
+// warm cache allocates nothing per miss.
 func (c *lruCache) Access(key uint64) (hit bool) {
-	if n, ok := c.entries[key]; ok {
+	if i, ok := c.entries[key]; ok {
 		c.Hits++
-		c.moveToFront(n)
+		c.moveToFront(i)
 		return true
 	}
 	c.Misses++
-	n := &lruNode{key: key}
-	c.entries[key] = n
-	c.pushFront(n)
-	if len(c.entries) > c.capacity {
-		evict := c.tail
-		c.unlink(evict)
-		delete(c.entries, evict.key)
+	var i int32
+	if len(c.arena) >= c.capacity {
+		i = c.tail
+		c.unlink(i)
+		delete(c.entries, c.arena[i].key)
+		c.arena[i].key = key
+	} else {
+		i = int32(len(c.arena))
+		c.arena = append(c.arena, lruNode{key: key})
 	}
+	c.entries[key] = i
+	c.pushFront(i)
 	return false
 }
 
@@ -56,50 +73,59 @@ func (c *lruCache) HitRate() float64 {
 	return float64(c.Hits) / float64(total)
 }
 
-func (c *lruCache) pushFront(n *lruNode) {
-	n.prev = nil
+func (c *lruCache) pushFront(i int32) {
+	n := &c.arena[i]
+	n.prev = -1
 	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	if c.head >= 0 {
+		c.arena[c.head].prev = i
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
-func (c *lruCache) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *lruCache) unlink(i int32) {
+	n := &c.arena[i]
+	if n.prev >= 0 {
+		c.arena[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		c.arena[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (c *lruCache) moveToFront(n *lruNode) {
-	if c.head == n {
+func (c *lruCache) moveToFront(i int32) {
+	if c.head == i {
 		return
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // slotPool is a counting semaphore over DRAM write-cache slots: acquire
 // runs the continuation immediately when a slot is free, otherwise queues
-// it FIFO until release.
+// it FIFO until release. Continuations are (fn, arg) pairs rather than
+// closures so queueing a waiter does not allocate.
 type slotPool struct {
 	slots   int
 	used    int
-	waiters []func()
+	waiters []slotWaiter
+	whead   int
 
 	// PeakUsed tracks the high-water mark for metrics.
 	PeakUsed int
+}
+
+type slotWaiter struct {
+	fn  func(any)
+	arg any
 }
 
 func newSlotPool(slots int) *slotPool {
@@ -109,26 +135,30 @@ func newSlotPool(slots int) *slotPool {
 	return &slotPool{slots: slots}
 }
 
-// Acquire grants a slot to fn now or when one frees up.
-func (p *slotPool) Acquire(fn func()) {
+// Acquire grants a slot to fn(arg) now or when one frees up.
+func (p *slotPool) Acquire(fn func(any), arg any) {
 	if p.used < p.slots {
 		p.used++
 		if p.used > p.PeakUsed {
 			p.PeakUsed = p.used
 		}
-		fn()
+		fn(arg)
 		return
 	}
-	p.waiters = append(p.waiters, fn)
+	p.waiters = append(p.waiters, slotWaiter{fn: fn, arg: arg})
 }
 
 // Release frees a slot, handing it to the oldest waiter if any.
 func (p *slotPool) Release() {
-	if len(p.waiters) > 0 {
-		fn := p.waiters[0]
-		p.waiters[0] = nil
-		p.waiters = p.waiters[1:]
-		fn()
+	if p.whead < len(p.waiters) {
+		w := p.waiters[p.whead]
+		p.waiters[p.whead] = slotWaiter{}
+		p.whead++
+		if p.whead > 64 && p.whead*2 >= len(p.waiters) {
+			p.waiters = append(p.waiters[:0], p.waiters[p.whead:]...)
+			p.whead = 0
+		}
+		w.fn(w.arg)
 		return
 	}
 	if p.used == 0 {
@@ -139,4 +169,4 @@ func (p *slotPool) Release() {
 
 // InUse returns occupied slots; Waiting returns queued acquisitions.
 func (p *slotPool) InUse() int   { return p.used }
-func (p *slotPool) Waiting() int { return len(p.waiters) }
+func (p *slotPool) Waiting() int { return len(p.waiters) - p.whead }

@@ -54,6 +54,13 @@ type Device struct {
 	outstanding int
 	xferTime    sim.Time
 	parked      []*nvme.Command
+	parkedHead  int
+
+	// Free lists for the per-command and per-page pipeline state (see
+	// pageOp); poolOn is sim.PoolingEnabled() captured at construction.
+	csFree []*cmdState
+	opFree []*pageOp
+	poolOn bool
 
 	// slowFactor scales die-operation latencies (fault injection); see
 	// SetSlowFactor. Zero or one means nominal speed.
@@ -83,6 +90,7 @@ func New(eng *sim.Engine, cfg Config, arb nvme.Arbiter) (*Device, error) {
 		cmt:      newLRUCache(int(cfg.CMTBytes / mapEntryBytes)),
 		wcache:   newSlotPool(int(cfg.WriteCacheBytes / int64(cfg.PageSize))),
 		xferTime: sim.Time(float64(cfg.PageSize) / cfg.ChannelBandwidth * float64(sim.Second)),
+		poolOn:   sim.PoolingEnabled(),
 	}
 	for c := 0; c < cfg.Channels; c++ {
 		ch := newResource(eng)
@@ -251,23 +259,176 @@ func (d *Device) pageSpan(c *nvme.Command) (first, last uint64) {
 	return first, last
 }
 
+// cmdState is one in-flight command's pipeline join: each page operation
+// calls done() once, and the last one completes the command. Pooled.
+type cmdState struct {
+	d         *Device
+	c         *nvme.Command
+	remaining int
+}
+
+// done retires one page of the command.
+func (cs *cmdState) done() {
+	cs.remaining--
+	if cs.remaining == 0 {
+		d, c := cs.d, cs.c
+		d.freeCS(cs)
+		d.complete(c)
+	}
+}
+
+// cmdPageDone is the arg-event trampoline for the write-back DRAM ack.
+func cmdPageDone(x any) { x.(*cmdState).done() }
+
+// pageOp is the per-page flash state machine: one pooled object carries a
+// page through address translation, bus transfers, array operations, and
+// the write cache, replacing what used to be a chain of per-step closure
+// allocations on the hot path.
+type pageOp struct {
+	d   *Device
+	cs  *cmdState
+	die *die
+	lpn uint64
+	st  int8
+	fin int8
+}
+
+// pageOp states: each names the pipeline stage that just finished; step()
+// performs the next one.
+const (
+	stReadMapXfer int8 = iota // mapping array read done: bus-transfer the mapping page
+	stReadData                // mapping page transferred: start the data array read
+	stReadXfer                // data array read done: bus-transfer the data
+	stReadDone                // data transferred: page finished
+	stWriteSlot               // write-cache slot granted: ack (write-back) and destage
+	stDestageXfer             // mapping array read done: bus-transfer the mapping page
+	stProgXfer                // mapping ready: bus-transfer the page data to the die
+	stProgAttempt             // data at the die: allocate a physical page and program
+	stProgDone                // program done: GC check, then finish
+)
+
+// pageOp finish actions (write path).
+const (
+	finNone        int8 = iota
+	finRelease          // write-back: release the cache slot (ack already sent)
+	finReleaseDone      // write-through: release the slot, then retire the page
+)
+
+// pageStep is the shared arg-event trampoline for every pageOp stage.
+func pageStep(x any) { x.(*pageOp).step() }
+
+func (op *pageOp) step() {
+	d := op.d
+	switch op.st {
+	case stReadMapXfer:
+		op.st = stReadData
+		op.die.channel.acquireArg(d.xferTime, pageStep, op)
+	case stReadData:
+		op.st = stReadXfer
+		op.die.res.acquireArg(d.lat(d.Cfg.ReadLatency), pageStep, op)
+	case stReadXfer:
+		op.st = stReadDone
+		op.die.channel.acquireArg(d.xferTime, pageStep, op)
+	case stReadDone:
+		cs := op.cs
+		d.freeOp(op)
+		cs.done()
+	case stWriteSlot:
+		if d.Cfg.CacheMode == WriteBack {
+			// Ack once the page is in DRAM; destage in the background.
+			d.eng.AfterArg(d.Cfg.DRAMLatency, cmdPageDone, op.cs)
+			op.cs = nil
+			op.fin = finRelease
+		} else { // WriteThrough
+			op.fin = finReleaseDone
+		}
+		if d.cmt.Access(op.lpn) {
+			op.st = stProgAttempt
+			op.die.channel.acquireArg(d.xferTime, pageStep, op)
+		} else {
+			op.st = stDestageXfer
+			op.die.res.acquireArg(d.lat(d.Cfg.ReadLatency), pageStep, op)
+		}
+	case stDestageXfer:
+		op.st = stProgXfer
+		op.die.channel.acquireArg(d.xferTime, pageStep, op)
+	case stProgXfer:
+		op.st = stProgAttempt
+		op.die.channel.acquireArg(d.xferTime, pageStep, op)
+	case stProgAttempt:
+		die := op.die
+		if !die.allocate(op.lpn) {
+			// Out of space: wait for GC to free a block.
+			die.writeWaiters = append(die.writeWaiters, op)
+			d.maybeGC(die)
+			return
+		}
+		die.HostPrograms++
+		op.st = stProgDone
+		die.res.acquireArg(d.lat(d.Cfg.ProgramLatency), pageStep, op)
+	case stProgDone:
+		die, fin, cs := op.die, op.fin, op.cs
+		d.freeOp(op)
+		d.maybeGC(die)
+		if fin != finNone {
+			d.wcache.Release()
+		}
+		if fin == finReleaseDone {
+			cs.done()
+		}
+	default:
+		panic(fmt.Sprintf("ssd: pageOp in impossible state %d", op.st))
+	}
+}
+
+func (d *Device) allocCS() *cmdState {
+	if n := len(d.csFree); n > 0 {
+		cs := d.csFree[n-1]
+		d.csFree[n-1] = nil
+		d.csFree = d.csFree[:n-1]
+		return cs
+	}
+	return &cmdState{d: d}
+}
+
+func (d *Device) freeCS(cs *cmdState) {
+	cs.c = nil
+	cs.remaining = 0
+	if d.poolOn {
+		d.csFree = append(d.csFree, cs)
+	}
+}
+
+func (d *Device) allocOp() *pageOp {
+	if n := len(d.opFree); n > 0 {
+		op := d.opFree[n-1]
+		d.opFree[n-1] = nil
+		d.opFree = d.opFree[:n-1]
+		return op
+	}
+	return &pageOp{d: d}
+}
+
+func (d *Device) freeOp(op *pageOp) {
+	op.cs, op.die, op.lpn, op.st, op.fin = nil, nil, 0, 0, finNone
+	if d.poolOn {
+		d.opFree = append(d.opFree, op)
+	}
+}
+
 func (d *Device) process(c *nvme.Command) {
 	if c.Size <= 0 {
 		panic(fmt.Sprintf("ssd: command %d with size %d", c.ID, c.Size))
 	}
 	first, last := d.pageSpan(c)
-	remaining := int(last-first) + 1
-	done := func() {
-		remaining--
-		if remaining == 0 {
-			d.complete(c)
-		}
-	}
+	cs := d.allocCS()
+	cs.c = c
+	cs.remaining = int(last-first) + 1
 	for lpn := first; lpn <= last; lpn++ {
 		if c.Op == trace.Read {
-			d.readPage(lpn, done)
+			d.readPage(lpn, cs)
 		} else {
-			d.writePage(lpn, done)
+			d.writePage(lpn, cs)
 		}
 	}
 }
@@ -278,16 +439,16 @@ type Gate interface {
 }
 
 func (d *Device) complete(c *nvme.Command) {
-	if d.Gate != nil && (len(d.parked) > 0 || !d.Gate.Admit(c)) {
+	if d.Gate != nil && (d.Parked() > 0 || !d.Gate.Admit(c)) {
 		// FIFO completion queue: nothing may overtake a parked entry.
 		d.parked = append(d.parked, c)
-		if len(d.parked) > d.PeakParked {
-			d.PeakParked = len(d.parked)
+		if d.Parked() > d.PeakParked {
+			d.PeakParked = d.Parked()
 			// Only new high-water marks are traced, bounding event volume
 			// while still pinpointing when CQ congestion deepened.
 			if d.Trace.Enabled() {
 				d.Trace.Instant(d.eng.Now(), "ssd", "cq_park "+d.TraceName,
-					obs.Num("parked", float64(len(d.parked))))
+					obs.Num("parked", float64(d.Parked())))
 			}
 		}
 		return
@@ -311,18 +472,22 @@ func (d *Device) finish(c *nvme.Command) {
 }
 
 // Parked returns the number of finished-but-unadmitted completions.
-func (d *Device) Parked() int { return len(d.parked) }
+func (d *Device) Parked() int { return len(d.parked) - d.parkedHead }
 
 // ReleaseParked re-offers parked completions to the gate in FIFO order,
 // stopping at the first one it still refuses.
 func (d *Device) ReleaseParked() {
-	for len(d.parked) > 0 {
-		head := d.parked[0]
+	for d.Parked() > 0 {
+		head := d.parked[d.parkedHead]
 		if d.Gate != nil && !d.Gate.Admit(head) {
 			return
 		}
-		d.parked[0] = nil
-		d.parked = d.parked[1:]
+		d.parked[d.parkedHead] = nil
+		d.parkedHead++
+		if d.parkedHead > 64 && d.parkedHead*2 >= len(d.parked) {
+			d.parked = append(d.parked[:0], d.parked[d.parkedHead:]...)
+			d.parkedHead = 0
+		}
 		d.finish(head)
 	}
 }
@@ -330,72 +495,25 @@ func (d *Device) ReleaseParked() {
 // readPage performs address translation then the array read and bus
 // transfer. Reads of never-written pages behave like preconditioned
 // reads (the usual MQSim setup): full array latency, no mapping change.
-func (d *Device) readPage(lpn uint64, done func()) {
-	die := d.dieOf(lpn)
-	dataRead := func() {
-		die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
-			die.channel.acquire(d.xferTime, done)
-		})
-	}
+func (d *Device) readPage(lpn uint64, cs *cmdState) {
+	op := d.allocOp()
+	op.cs, op.die, op.lpn = cs, d.dieOf(lpn), lpn
 	if d.cmt.Access(lpn) {
-		dataRead()
-		return
+		op.st = stReadXfer
+	} else {
+		// CMT miss: read the mapping page from flash first.
+		op.st = stReadMapXfer
 	}
-	// CMT miss: read the mapping page from flash first.
-	die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
-		die.channel.acquire(d.xferTime, dataRead)
-	})
+	op.die.res.acquireArg(d.lat(d.Cfg.ReadLatency), pageStep, op)
 }
 
-// writePage routes one page write through the write cache.
-func (d *Device) writePage(lpn uint64, done func()) {
-	d.wcache.Acquire(func() {
-		switch d.Cfg.CacheMode {
-		case WriteBack:
-			// Ack once the page is in DRAM; destage in the background.
-			d.eng.After(d.Cfg.DRAMLatency, done)
-			d.destage(lpn, d.wcache.Release)
-		default: // WriteThrough
-			d.destage(lpn, func() {
-				d.wcache.Release()
-				done()
-			})
-		}
-	})
-}
-
-// destage moves one cached page to flash: mapping update (CMT), bus
-// transfer, then program — stalling on GC when the die is out of space.
-func (d *Device) destage(lpn uint64, fin func()) {
-	die := d.dieOf(lpn)
-	prog := func() { d.program(die, lpn, fin) }
-	if d.cmt.Access(lpn) {
-		prog()
-		return
-	}
-	die.res.acquire(d.lat(d.Cfg.ReadLatency), func() {
-		die.channel.acquire(d.xferTime, prog)
-	})
-}
-
-func (d *Device) program(die *die, lpn uint64, fin func()) {
-	die.channel.acquire(d.xferTime, func() {
-		var attempt func()
-		attempt = func() {
-			if !die.allocate(lpn) {
-				// Out of space: wait for GC to free a block.
-				die.writeWaiters = append(die.writeWaiters, attempt)
-				d.maybeGC(die)
-				return
-			}
-			die.HostPrograms++
-			die.res.acquire(d.lat(d.Cfg.ProgramLatency), func() {
-				d.maybeGC(die)
-				fin()
-			})
-		}
-		attempt()
-	})
+// writePage routes one page write through the write cache; the pipeline
+// continues in pageOp.step from stWriteSlot once a slot is granted.
+func (d *Device) writePage(lpn uint64, cs *cmdState) {
+	op := d.allocOp()
+	op.cs, op.die, op.lpn = cs, d.dieOf(lpn), lpn
+	op.st = stWriteSlot
+	d.wcache.Acquire(pageStep, op)
 }
 
 // maybeGC starts the per-die garbage-collection loop when the free-space

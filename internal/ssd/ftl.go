@@ -37,9 +37,9 @@ type die struct {
 
 	mapping map[uint64]pageLoc
 
-	// writeWaiters are program attempts stalled on free-space exhaustion;
-	// GC releases them after each erase.
-	writeWaiters []func()
+	// writeWaiters are program attempts (parked pageOps) stalled on
+	// free-space exhaustion; GC releases them after each erase.
+	writeWaiters []*pageOp
 	gcRunning    bool
 
 	// Stats.
@@ -166,7 +166,7 @@ func (d *die) drainWaiters() {
 	waiters := d.writeWaiters
 	d.writeWaiters = nil
 	for _, w := range waiters {
-		w()
+		w.step()
 	}
 }
 

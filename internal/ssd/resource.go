@@ -27,6 +27,19 @@ func (r *resource) acquire(dur sim.Time, fn func()) {
 	r.eng.Schedule(r.busyUntil, fn)
 }
 
+// acquireArg is acquire for arg-carrying continuations: the hot command
+// pipeline passes its pooled page-op state here instead of allocating a
+// closure per step.
+func (r *resource) acquireArg(dur sim.Time, fn func(any), arg any) {
+	start := r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + dur
+	r.BusyTime += dur
+	r.eng.ScheduleArg(r.busyUntil, fn, arg)
+}
+
 // queueDelay returns how long new work would wait before starting.
 func (r *resource) queueDelay() sim.Time {
 	if r.busyUntil <= r.eng.Now() {
