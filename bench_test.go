@@ -33,11 +33,15 @@ var (
 func benchTPMs(b *testing.B) (*core.TPM, *core.TPM) {
 	b.Helper()
 	tpmOnce.Do(func() {
-		if tpmCong, _, tpmErr = harness.TrainCongestionTPM(1000, 42); tpmErr != nil {
+		// Behind the shared artifact cache (same keys as the harness test
+		// suite's models), so repeated benchmark runs skip re-training;
+		// SRCSIM_TPM_CACHE=off forces a cold run.
+		c := devrun.TPMCacheFromEnv()
+		if tpmCong, _, tpmErr = harness.TrainCongestionTPMCached(c, 1000, 42); tpmErr != nil {
 			tpmErr = fmt.Errorf("training shared congestion TPM: %w", tpmErr)
 			return
 		}
-		if tpmFig9, _, tpmErr = devrun.TrainTPM(harness.Fig9Config(), 1000, 43); tpmErr != nil {
+		if tpmFig9, _, tpmErr = devrun.TrainTPMCached(c, harness.Fig9Config(), 1000, 43); tpmErr != nil {
 			tpmErr = fmt.Errorf("training shared Fig. 9 TPM: %w", tpmErr)
 		}
 	})

@@ -1,15 +1,21 @@
 // Command srcsim runs the integrated DCQCN-only versus DCQCN-SRC
-// experiments of the paper's evaluation: the motivation example (Fig. 2),
-// the VDI congestion timeline (Figs. 7 and 8), the workload-intensity
-// sensitivity study (Fig. 10), and the in-cast ratio analysis (Table IV).
+// experiments of the paper's evaluation. Experiments come from the
+// registry in internal/harness; `srcsim -list` enumerates them with
+// their tunable parameters and defaults.
 //
 // Usage:
 //
+//	srcsim -list                    (enumerate registered experiments)
 //	srcsim -experiment fig7 [-requests 2000] [-seed 7] [-train 1500]
 //	srcsim -experiment table4 [-seconds 0.08]
 //	srcsim -experiment fig10 [-seconds 0.06]
 //	srcsim -experiment fig2
 //	srcsim -replay my.csv           (replay a tracegen CSV under both modes)
+//
+// Experiments that need a trained throughput-prediction model train one
+// lazily (or load -tpm); training results are reused across runs through
+// the content-addressed artifact cache (SRCSIM_TPM_CACHE=off disables,
+// SRCSIM_TPM_CACHE=<dir> relocates; default is <tmp>/srcsim-cache).
 //
 // Observability (any experiment or replay):
 //
@@ -51,16 +57,17 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"srcsim/internal/atomicio"
 	"srcsim/internal/cluster"
 	"srcsim/internal/core"
+	"srcsim/internal/devrun"
 	"srcsim/internal/faults"
 	"srcsim/internal/guard"
 	"srcsim/internal/harness"
-	"srcsim/internal/netsim"
 	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
@@ -102,9 +109,12 @@ func fail(err error) int {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "fig7", "fig2 | fig7 | fig10 | table4")
-	requests := flag.Int("requests", 2000, "write-request count for fig7 (reads get 2x)")
-	seconds := flag.Float64("seconds", 0.06, "trace length in seconds for fig10/table4")
+	experiment := flag.String("experiment", "fig7", "registered experiment to run (see -list)")
+	list := flag.Bool("list", false, "list registered experiments with their parameters and exit")
+	// requests/seconds/seed/cc reach experiments through the override
+	// overlay below (flag.Visit), not through direct reads.
+	flag.Int("requests", 2000, "write-request count for fig7/chaos-soak (reads get 2x)")
+	flag.Float64("seconds", 0.06, "trace length in seconds for fig10/table4")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	trainCount := flag.Int("train", 1500, "per-direction request count for TPM training runs")
 	replayFile := flag.String("replay", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
@@ -121,11 +131,16 @@ func run() int {
 	maxWall := flag.Duration("max-wall", 0, "truncate the run gracefully after this much wall-clock time (0 = unlimited); partial results are still written")
 	flag.Parse()
 
+	if *list {
+		harness.FprintExperiments(os.Stdout)
+		return exitOK
+	}
+
 	// Fail on a bad -experiment now, before minutes of TPM training.
-	switch *experiment {
-	case "fig2", "fig7", "fig10", "table4":
-	default:
-		log.Printf("unknown experiment %q (want fig2, fig7, fig10, or table4)", *experiment)
+	exp, ok := harness.LookupExperiment(*experiment)
+	if !ok && *replayFile == "" {
+		log.Printf("unknown experiment %q (registered: %s; run srcsim -list)",
+			*experiment, strings.Join(harness.ExperimentNames(), ", "))
 		return exitError
 	}
 
@@ -211,49 +226,55 @@ func run() int {
 		return exitOK
 	}
 
-	var ccAlg netsim.CCAlg
-	switch *cc {
-	case "dcqcn":
-		ccAlg = netsim.CCDCQCN
-	case "timely":
-		ccAlg = netsim.CCTIMELY
-	case "none":
-		ccAlg = netsim.CCNone
-	default:
-		log.Printf("unknown congestion control %q", *cc)
-		return exitError
-	}
-
-	if *experiment == "fig2" {
-		harness.FprintFig2(os.Stdout, harness.Fig2Motivation(harness.DefaultFig2Params()))
-		return exitOK
-	}
-
-	var tpm *core.TPM
-	if *tpmPath != "" {
-		f, err := os.Open(*tpmPath)
-		if err != nil {
-			return fail(err)
+	// getTPM resolves the model an experiment declares, lazily: -tpm
+	// loads a pre-trained file; otherwise training runs behind the
+	// content-addressed artifact cache, so repeated invocations with the
+	// same training inputs reuse the stored model.
+	getTPM := func(kind harness.TPMKind) (*core.TPM, error) {
+		if *tpmPath != "" {
+			f, err := os.Open(*tpmPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			tpm, err := core.LoadTPM(f)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "loaded TPM from %s\n", *tpmPath)
+			return tpm, nil
 		}
-		tpm, err = core.LoadTPM(f)
-		f.Close()
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded TPM from %s\n", *tpmPath)
-	} else {
+		cacheDir := devrun.TPMCacheFromEnv()
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "training TPM (SSD-A target array)...\n")
-		var samples []core.Sample
+		var tpm *core.TPM
+		var hit bool
 		var err error
-		tpm, samples, err = harness.TrainCongestionTPM(*trainCount, *seed^0xbeef)
-		if err != nil {
-			return fail(err)
+		switch kind {
+		case harness.TPMFig9:
+			fmt.Fprintf(os.Stderr, "training TPM (Fig. 9 SSD-B array)...\n")
+			tpm, hit, err = devrun.TrainTPMCached(cacheDir, harness.Fig9Config(), *trainCount, *seed^0xbeef)
+		default:
+			fmt.Fprintf(os.Stderr, "training TPM (SSD-A target array)...\n")
+			tpm, hit, err = harness.TrainCongestionTPMCached(cacheDir, *trainCount, *seed^0xbeef)
 		}
-		fmt.Fprintf(os.Stderr, "trained on %d samples in %v\n", len(samples), time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			fmt.Fprintf(os.Stderr, "reused cached TPM (%s=off forces retraining)\n", devrun.TPMCacheEnv)
+		} else {
+			fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start))
+		}
+		return tpm, nil
 	}
+	env := &harness.Env{TPM: getTPM, Mods: []func(*cluster.Spec){withObs}}
 
 	if *replayFile != "" {
+		ccAlg, err := harness.ParseCC(*cc)
+		if err != nil {
+			log.Print(err)
+			return exitError
+		}
 		f, err := os.Open(*replayFile)
 		if err != nil {
 			return fail(err)
@@ -273,50 +294,49 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+		tpm, err := getTPM(harness.TPMCongestion)
+		if err != nil {
+			return fail(err)
+		}
 		spec := harness.CongestionSpec()
 		spec.Net.CC = ccAlg
 		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, withObs)
 		if err != nil {
 			return fail(err)
 		}
-		for _, r := range []*cluster.Result{base, src} {
-			if *jsonOut {
+		if *jsonOut {
+			for _, r := range []*cluster.Result{base, src} {
 				if err := r.WriteJSON(os.Stdout); err != nil {
 					return fail(err)
 				}
-				continue
 			}
-			fmt.Printf("%-11s read %5.2f Gbps | write %5.2f Gbps | aggregated %5.2f Gbps | p50/p99 read lat %.2f/%.2f ms | pauses %d\n",
-				r.Mode, r.MeanReadGbps, r.MeanWriteGbps, r.AggregatedGbps,
-				r.ReadLatencyP50Ms, r.ReadLatencyP99Ms, r.TotalCNPs)
-			if r.Truncated {
-				fmt.Printf("%-11s (truncated: %s)\n", "", r.TruncateReason)
-			}
+		} else {
+			harness.FprintReplay(os.Stdout, base, src)
 		}
 		return epilogue()
 	}
 
-	switch *experiment {
-	case "fig7":
-		res, err := harness.Fig7ThroughputCC(tpm, *requests, *seed, ccAlg, withObs)
-		if err != nil {
-			return fail(err)
+	// Overlay explicitly set flags onto the experiment's declared
+	// defaults; flags the experiment does not declare are ignored, so
+	// e.g. -cc only affects experiments with a cc parameter.
+	overrides := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "requests", "seconds", "seed", "cc":
+			if _, ok := exp.Param(f.Name); ok {
+				overrides[f.Name] = f.Value.String()
+			}
 		}
-		harness.FprintFig7(os.Stdout, res)
-		fmt.Println()
-		harness.FprintFig8(os.Stdout, res)
-	case "fig10":
-		rows, err := harness.Fig10Intensity(tpm, *seconds, *seed, withObs)
-		if err != nil {
-			return fail(err)
-		}
-		harness.FprintFig10(os.Stdout, rows)
-	case "table4":
-		rows, err := harness.TableIV(tpm, nil, *seconds, *seed, withObs)
-		if err != nil {
-			return fail(err)
-		}
-		harness.FprintTableIV(os.Stdout, rows)
+	})
+	params, err := exp.Resolve(overrides)
+	if err != nil {
+		log.Print(err)
+		return exitError
 	}
+	out, err := exp.Run(env, params)
+	if err != nil {
+		return fail(err)
+	}
+	os.Stdout.WriteString(out.Text)
 	return epilogue()
 }

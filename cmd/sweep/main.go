@@ -1,0 +1,153 @@
+// Command sweep runs experiment campaigns: a JSON spec names registered
+// experiments with parameter grids, and the orchestrator expands it into
+// jobs, runs them on a worker pool (parallel across jobs; every
+// simulation stays single-threaded and deterministic), and writes
+// per-job artifacts plus a byte-stable aggregate report.
+//
+// Usage:
+//
+//	sweep -campaign paper.json -out out/        run a campaign
+//	sweep -campaign paper.json -out out/ -resume   continue after a crash/kill
+//	sweep -list                                 enumerate registered experiments
+//
+// A campaign spec looks like:
+//
+//	{
+//	  "name": "paper",
+//	  "seed": 7,
+//	  "experiments": [
+//	    {"experiment": "fig2"},
+//	    {"experiment": "fig7", "grid": {"cc": ["dcqcn", "timely"]}},
+//	    {"experiment": "fig10", "params": {"seconds": "0.06"}}
+//	  ]
+//	}
+//
+// Outputs under -out:
+//
+//	manifest.json   crash-safe checkpoint, rewritten after every job
+//	jobs/<id>.json  one artifact per finished job
+//	report.txt      every rendered figure/table, in job order
+//	aggregate.json  machine-readable campaign record
+//	metrics.json    merged cross-job metrics snapshot (when present)
+//
+// Finished jobs and trained TPMs are reused through the
+// content-addressed cache (-cache, default <out>/cache); re-running an
+// unchanged campaign is all cache hits and reproduces the aggregate
+// byte-for-byte. SIGINT/SIGTERM or -max-wall stop gracefully: running
+// simulations drain, finished work is kept, and -resume completes the
+// rest with a byte-identical final report.
+//
+// Exit codes:
+//
+//	0  campaign completed, all jobs done
+//	1  configuration or I/O error, or at least one job failed
+//	3  campaign truncated (signal or wall budget); resume to finish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"srcsim/internal/guard"
+	"srcsim/internal/harness"
+	"srcsim/internal/sweep"
+	"srcsim/internal/sweep/cache"
+)
+
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitTruncated = 3
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	os.Exit(run())
+}
+
+func run() int {
+	campaignPath := flag.String("campaign", "", "campaign spec file (JSON)")
+	out := flag.String("out", "", "output directory (required)")
+	cacheDir := flag.String("cache", "", "content-addressed artifact cache directory (default <out>/cache; \"off\" disables)")
+	workers := flag.Int("workers", 0, "max parallel jobs (0 = campaign spec, then GOMAXPROCS)")
+	resume := flag.Bool("resume", false, "continue a previous run in -out: skip jobs whose artifacts are already on disk")
+	list := flag.Bool("list", false, "list registered experiments with their parameters and exit")
+	maxWall := flag.Duration("max-wall", 0, "stop the campaign gracefully after this much wall-clock time (0 = unlimited)")
+	flag.Parse()
+
+	if *list {
+		harness.FprintExperiments(os.Stdout)
+		return exitOK
+	}
+	if *campaignPath == "" || *out == "" {
+		log.Print("need -campaign and -out (or -list)")
+		return exitError
+	}
+
+	spec, err := sweep.LoadCampaign(*campaignPath)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+
+	// Graceful cancellation: SIGINT/SIGTERM and -max-wall share one
+	// Stopper. Running jobs drain at the next event boundary and stay
+	// pending in the manifest; a second signal kills the process.
+	stopper := guard.NewStopper()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		signal.Stop(sigc)
+		fmt.Fprintf(os.Stderr, "sweep: %v: stopping campaign (again to kill)\n", s)
+		stopper.Stop(fmt.Sprintf("signal: %v", s))
+	}()
+	if *maxWall > 0 {
+		timer := time.AfterFunc(*maxWall, func() {
+			stopper.Stop(fmt.Sprintf("wall budget %v exceeded", *maxWall))
+		})
+		defer timer.Stop()
+	}
+
+	dir := *cacheDir
+	switch dir {
+	case "":
+		dir = filepath.Join(*out, "cache")
+	case "off", "0":
+		dir = ""
+	}
+	runner := &sweep.Runner{
+		Out:     *out,
+		Cache:   cache.New(dir),
+		Workers: *workers,
+		Stop:    stopper,
+		Resume:  *resume,
+		Log:     os.Stderr,
+	}
+	rep, err := runner.Run(spec)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: %s: %d/%d done (failed %d, resumed %d) | cache hits: %d/%d\n",
+		rep.Campaign, rep.Done+rep.Resumed, rep.Total, rep.Failed, rep.Resumed, rep.CacheHits, rep.Executed)
+	fmt.Fprintf(os.Stderr, "sweep: outputs in %s (report.txt, aggregate.json, manifest.json)\n", rep.OutDir)
+
+	if rep.Truncated {
+		log.Printf("campaign truncated: %s (use -resume to finish)", stopper.Reason())
+		return exitTruncated
+	}
+	if rep.Failed > 0 {
+		log.Printf("%d job(s) failed; see manifest.json", rep.Failed)
+		return exitError
+	}
+	return exitOK
+}

@@ -442,6 +442,32 @@ func (r *Result) Summary() Summary {
 	}
 }
 
+// Digest is the deterministic machine-readable core of a Result: the
+// summary plus the raw per-bucket series, which catch divergence the
+// aggregated digest would average away. The metrics snapshot is
+// excluded — it carries wall-clock profiling series, so it is reported
+// beside the digest (not inside it) by callers that need byte-stable
+// artifacts: the determinism matrix and the sweep orchestrator both
+// compare digests byte for byte.
+type Digest struct {
+	Summary   Summary   `json:"summary"`
+	ReadGbps  []float64 `json:"read_gbps_series"`
+	WriteGbps []float64 `json:"write_gbps_series"`
+	Pauses    []float64 `json:"pauses_series"`
+}
+
+// Digest extracts the deterministic digest of the result.
+func (r *Result) Digest() Digest {
+	s := r.Summary()
+	s.Metrics = nil
+	return Digest{
+		Summary:   s,
+		ReadGbps:  r.ReadGbps,
+		WriteGbps: r.WriteGbps,
+		Pauses:    r.Pauses,
+	}
+}
+
 // WriteJSON writes the result summary as indented JSON.
 func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -5,9 +5,10 @@
 package devrun
 
 import (
+	"bytes"
 	"fmt"
-	"runtime"
-	"sync"
+	"os"
+	"path/filepath"
 
 	"srcsim/internal/core"
 	"srcsim/internal/guard"
@@ -15,6 +16,8 @@ import (
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/stats"
+	"srcsim/internal/sweep/cache"
+	"srcsim/internal/sweep/pool"
 	"srcsim/internal/trace"
 	"srcsim/internal/workload"
 )
@@ -186,37 +189,25 @@ func CollectSamples(cfg ssd.Config, specs []WorkloadSpec, ws []int, group int) (
 		}
 	}
 	samples := make([]core.Sample, len(jobs))
-	errs := make([]error, len(jobs))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			spec := specs[j.si]
-			tr := spec.Trace()
-			res, err := Run(cfg, tr, ws[j.wi])
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			ch := core.FeatureVector(trace.Extract(tr))
-			samples[ji] = core.Sample{
-				Ch: ch, W: float64(ws[j.wi]),
-				TputR: res.ReadGbps * 1e9,
-				TputW: res.WriteGbps * 1e9,
-				Group: group,
-			}
-		}(ji, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Pool{}.ForEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		spec := specs[j.si]
+		tr := spec.Trace()
+		res, err := Run(cfg, tr, ws[j.wi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ch := core.FeatureVector(trace.Extract(tr))
+		samples[ji] = core.Sample{
+			Ch: ch, W: float64(ws[j.wi]),
+			TputR: res.ReadGbps * 1e9,
+			TputW: res.WriteGbps * 1e9,
+			Group: group,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return samples, nil
 }
@@ -232,35 +223,24 @@ func CollectSamplesFromTraces(cfg ssd.Config, traces []*trace.Trace, ws []int, g
 		}
 	}
 	samples := make([]core.Sample, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tr := traces[j.ti]
-			res, err := Run(cfg, tr, ws[j.wi])
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			samples[ji] = core.Sample{
-				Ch:    core.FeatureVector(trace.Extract(tr)),
-				W:     float64(ws[j.wi]),
-				TputR: res.ReadGbps * 1e9,
-				TputW: res.WriteGbps * 1e9,
-				Group: group,
-			}
-		}(ji, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Pool{}.ForEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		tr := traces[j.ti]
+		res, err := Run(cfg, tr, ws[j.wi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		samples[ji] = core.Sample{
+			Ch:    core.FeatureVector(trace.Extract(tr)),
+			W:     float64(ws[j.wi]),
+			TputR: res.ReadGbps * 1e9,
+			TputW: res.WriteGbps * 1e9,
+			Group: group,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return samples, nil
 }
@@ -311,6 +291,64 @@ func RandomSpecs(n, count int, seed uint64) []WorkloadSpec {
 		})
 	}
 	return specs
+}
+
+// tpmTrainEpoch versions the whole TPM-training pipeline (grid layout,
+// feature extraction, forest hyperparameters, serialized-model layout)
+// for cache keys. Bump it whenever a change makes previously trained
+// models stale: the content-addressed store never invalidates on its
+// own. Epoch 2: serialized forests carry feature importances.
+const tpmTrainEpoch = 2
+
+// TPMCacheEnv is the environment knob for the trained-model artifact
+// cache used by TrainTPMCached (and through it the test suites):
+// unset/empty resolves to a shared directory under os.TempDir();
+// "off" or "0" disables caching so every run trains cold (CI's
+// cold-run mode); any other value is used as the cache directory.
+const TPMCacheEnv = "SRCSIM_TPM_CACHE"
+
+// TPMCacheFromEnv resolves the TPMCacheEnv knob to a cache handle
+// (nil when caching is off).
+func TPMCacheFromEnv() *cache.Cache {
+	switch v := os.Getenv(TPMCacheEnv); v {
+	case "":
+		return cache.New(filepath.Join(os.TempDir(), "srcsim-cache"))
+	case "off", "0":
+		return nil
+	default:
+		return cache.New(v)
+	}
+}
+
+// tpmKey is the content address of a trained TPM: every input the
+// trained model depends on, plus the pipeline epoch and the model
+// format version.
+func tpmKey(cfg ssd.Config, count int, seed uint64) string {
+	return cache.Key("tpm", tpmTrainEpoch, core.NumFeatures, cfg, count, seed)
+}
+
+// TrainTPMCached is TrainTPM behind the content-addressed artifact
+// cache: a hit deserializes the stored model (training is deterministic,
+// so the loaded model predicts identically to a fresh one); a miss
+// trains and stores. A nil cache always trains. The training samples
+// are not persisted — callers that need them should use TrainTPM.
+func TrainTPMCached(c *cache.Cache, cfg ssd.Config, count int, seed uint64) (tpm *core.TPM, hit bool, err error) {
+	key := tpmKey(cfg, count, seed)
+	if b, ok := c.Get(key); ok {
+		if tpm, err := core.LoadTPM(bytes.NewReader(b)); err == nil {
+			return tpm, true, nil
+		}
+		// A corrupt or stale entry falls through to a fresh train, whose
+		// Put overwrites it.
+	}
+	tpm, _, err = TrainTPM(cfg, count, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.Put(key, tpm.Save); err != nil {
+		return nil, false, err
+	}
+	return tpm, false, nil
 }
 
 // TrainTPM collects samples on cfg over the default grid (plus

@@ -23,23 +23,11 @@ import (
 	"srcsim/internal/ssd"
 )
 
-// clusterDigest is the matrix's view of one cluster run: the standard
-// machine-readable summary plus the raw per-bucket series, which catch
-// divergence the aggregated digest would average away.
-type clusterDigest struct {
-	Summary   cluster.Summary `json:"summary"`
-	ReadGbps  []float64       `json:"read_gbps_series"`
-	WriteGbps []float64       `json:"write_gbps_series"`
-	Pauses    []float64       `json:"pauses_series"`
-}
-
-func digestRun(r *cluster.Result) clusterDigest {
-	return clusterDigest{
-		Summary:   r.Summary(),
-		ReadGbps:  r.ReadGbps,
-		WriteGbps: r.WriteGbps,
-		Pauses:    r.Pauses,
-	}
+// digestRun is the matrix's view of one cluster run: the deterministic
+// digest (summary plus raw per-bucket series) shared with the sweep
+// orchestrator's per-job artifacts.
+func digestRun(r *cluster.Result) cluster.Digest {
+	return r.Digest()
 }
 
 // matrixSuite runs every experiment at reduced scale and returns each
@@ -115,7 +103,7 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
 	if err != nil {
 		t.Fatalf("fig7: %v", err)
 	}
-	put("fig7", []clusterDigest{digestRun(res7.Baseline), digestRun(res7.SRC)})
+	put("fig7", []cluster.Digest{digestRun(res7.Baseline), digestRun(res7.SRC)})
 
 	events := []RateEvent{
 		{At: 20 * sim.Millisecond, DemandGbps: 6},
@@ -131,7 +119,7 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
 	if err != nil {
 		t.Fatalf("fig10: %v", err)
 	}
-	var dig10 []clusterDigest
+	var dig10 []cluster.Digest
 	for _, r := range rows10 {
 		dig10 = append(dig10, digestRun(r.Result.Baseline), digestRun(r.Result.SRC))
 	}

@@ -3,12 +3,11 @@ package harness
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"srcsim/internal/devrun"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
+	"srcsim/internal/sweep/pool"
 )
 
 // Fig5Cell is one point of the Fig. 5 grid: read/write throughput at one
@@ -38,35 +37,24 @@ func Fig5WeightSweep(cfg ssd.Config, ws []int, count int, seed uint64) ([]Fig5Ce
 		}
 	}
 	cells := make([]Fig5Cell, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			spec := specs[j.si]
-			res, err := devrun.Run(cfg, spec.Trace(), ws[j.wi])
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			cells[ji] = Fig5Cell{
-				InterArrival: spec.InterArrival,
-				MeanSize:     spec.MeanSize,
-				W:            ws[j.wi],
-				ReadGbps:     res.ReadGbps,
-				WriteGbps:    res.WriteGbps,
-			}
-		}(ji, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Pool{}.ForEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		spec := specs[j.si]
+		res, err := devrun.Run(cfg, spec.Trace(), ws[j.wi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cells[ji] = Fig5Cell{
+			InterArrival: spec.InterArrival,
+			MeanSize:     spec.MeanSize,
+			W:            ws[j.wi],
+			ReadGbps:     res.ReadGbps,
+			WriteGbps:    res.WriteGbps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

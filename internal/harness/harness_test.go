@@ -22,14 +22,19 @@ var (
 )
 
 // testTPMs trains the two shared models once for the whole package.
+// Training runs behind the content-addressed artifact cache (see
+// devrun.TrainTPMCached), so repeated `go test ./...` invocations load
+// the stored forests instead of re-training them; set
+// SRCSIM_TPM_CACHE=off for a cold run (CI does, on its main test step).
 func testTPMs(t *testing.T) (*core.TPM, *core.TPM) {
 	t.Helper()
 	tpmOnce.Do(func() {
-		tpmCong, _, tpmErr = TrainCongestionTPM(1000, 42)
+		c := devrun.TPMCacheFromEnv()
+		tpmCong, _, tpmErr = TrainCongestionTPMCached(c, 1000, 42)
 		if tpmErr != nil {
 			return
 		}
-		tpm9, _, tpmErr = devrun.TrainTPM(Fig9Config(), 1000, 43)
+		tpm9, _, tpmErr = devrun.TrainTPMCached(c, Fig9Config(), 1000, 43)
 	})
 	if tpmErr != nil {
 		t.Fatal(tpmErr)

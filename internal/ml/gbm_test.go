@@ -96,6 +96,22 @@ func TestForestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("prediction %d changed after round trip: %v vs %v", i, got, want)
 		}
 	}
+	// Breiman importances must survive serialization bit-exactly: the
+	// TPM artifact cache hands reloaded models to the importance report.
+	imp, impBack := rf.FeatureImportances(), back.FeatureImportances()
+	if len(impBack) != len(imp) {
+		t.Fatalf("importance length changed: %d vs %d", len(impBack), len(imp))
+	}
+	var total float64
+	for i := range imp {
+		if imp[i] != impBack[i] {
+			t.Fatalf("importance %d changed after round trip: %v vs %v", i, impBack[i], imp[i])
+		}
+		total += impBack[i]
+	}
+	if total == 0 {
+		t.Fatal("round-tripped importances are all zero")
+	}
 }
 
 func TestForestSaveBeforeFitErrors(t *testing.T) {

@@ -12,18 +12,21 @@ import (
 // training is the slowest step of every experiment CLI).
 
 // treeDTO is a flattened CART tree: node i's children are Left[i] and
-// Right[i] (-1 for leaves).
+// Right[i] (-1 for leaves). Importance carries the fit-time SSE
+// reductions per feature so a reloaded ensemble reports the same
+// Breiman importances as the freshly trained one.
 type treeDTO struct {
-	Feature   []int32
-	Threshold []float64
-	Left      []int32
-	Right     []int32
-	Value     []float64
-	D         int
+	Feature    []int32
+	Threshold  []float64
+	Left       []int32
+	Right      []int32
+	Value      []float64
+	Importance []float64
+	D          int
 }
 
 func flattenTree(t *DecisionTreeRegressor) treeDTO {
-	dto := treeDTO{D: t.d}
+	dto := treeDTO{D: t.d, Importance: append([]float64(nil), t.importance...)}
 	var walk func(n *treeNode) int32
 	walk = func(n *treeNode) int32 {
 		idx := int32(len(dto.Feature))
@@ -70,7 +73,12 @@ func (dto treeDTO) restore() (*DecisionTreeRegressor, error) {
 	}
 	t := &DecisionTreeRegressor{d: dto.D, root: &nodes[0], fitted: true}
 	t.defaults()
-	t.importance = make([]float64, dto.D)
+	if len(dto.Importance) == dto.D {
+		t.importance = append([]float64(nil), dto.Importance...)
+	} else {
+		// Pre-importance files: decode cleanly with zero importances.
+		t.importance = make([]float64, dto.D)
+	}
 	return t, nil
 }
 
@@ -81,8 +89,7 @@ type forestDTO struct {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler, so a fitted forest
-// embeds cleanly in any gob stream. Feature importances are not
-// persisted — retrain to recompute them.
+// embeds cleanly in any gob stream, feature importances included.
 func (f *RandomForestRegressor) MarshalBinary() ([]byte, error) {
 	if !f.fitted {
 		return nil, fmt.Errorf("ml: MarshalBinary before Fit")

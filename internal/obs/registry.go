@@ -297,6 +297,127 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// WithoutComponent returns a copy of the snapshot with every series of
+// the named component removed (keys are "component/name{labels}"). The
+// sweep orchestrator drops the "sim" component before persisting
+// per-job snapshots: engine profiling gauges are wall-clock-derived and
+// would break the byte-identity of otherwise deterministic artifacts.
+func (s Snapshot) WithoutComponent(component string) Snapshot {
+	prefix := component + "/"
+	var out Snapshot
+	keep := func(k string) bool { return !strings.HasPrefix(k, prefix) }
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]float64)
+		for k, v := range s.Counters {
+			if keep(k) {
+				out.Counters[k] = v
+			}
+		}
+		if len(out.Counters) == 0 {
+			out.Counters = nil
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]float64)
+		for k, v := range s.Gauges {
+			if keep(k) {
+				out.Gauges[k] = v
+			}
+		}
+		if len(out.Gauges) == 0 {
+			out.Gauges = nil
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot)
+		for k, v := range s.Histograms {
+			if keep(k) {
+				out.Histograms[k] = v
+			}
+		}
+		if len(out.Histograms) == 0 {
+			out.Histograms = nil
+		}
+	}
+	return out
+}
+
+// MergeSnapshots folds snapshots from independent runs (e.g. the jobs
+// of one sweep campaign) into a cross-run aggregate:
+//
+//   - counters sum — they are totals of countable events;
+//   - gauges keep the maximum — registry gauges are levels and
+//     high-water marks, so the merged value is the worst case observed
+//     by any run;
+//   - histogram digests combine exactly for count/min/max, exactly for
+//     the mean (count-weighted), and approximately for the quantiles
+//     (count-weighted mean of the per-run estimates — adequate for a
+//     campaign overview; per-job snapshots keep the precise values).
+//
+// Merging is order-independent for every field except the quantile
+// approximation, so callers that need byte-stable output must merge in
+// a deterministic order (the sweep runner merges in job-ID order).
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			if out.Counters == nil {
+				out.Counters = make(map[string]float64)
+			}
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			if cur, ok := out.Gauges[k]; !ok || v > cur {
+				out.Gauges[k] = v
+			}
+		}
+		for k, h := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			cur, ok := out.Histograms[k]
+			if !ok {
+				out.Histograms[k] = h
+				continue
+			}
+			out.Histograms[k] = mergeHistDigest(cur, h)
+		}
+	}
+	return out
+}
+
+// mergeHistDigest combines two histogram digests (see MergeSnapshots
+// for the semantics).
+func mergeHistDigest(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	total := a.Count + b.Count
+	wa := float64(a.Count) / float64(total)
+	wb := float64(b.Count) / float64(total)
+	m := HistogramSnapshot{
+		Count: total,
+		Mean:  a.Mean*wa + b.Mean*wb,
+		P50:   a.P50*wa + b.P50*wb,
+		P99:   a.P99*wa + b.P99*wb,
+		Min:   a.Min,
+		Max:   a.Max,
+	}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	return m
+}
+
 // WriteJSON writes the current snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

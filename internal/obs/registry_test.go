@@ -118,3 +118,60 @@ func TestSnapshotJSONDeterministic(t *testing.T) {
 		t.Fatalf("snapshot series %d, want 4", snap.NumSeries())
 	}
 }
+
+func TestWithoutComponentDropsOnlyThatComponent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim", "events_processed").Add(10)
+	r.Gauge("sim", "heap_high_water").Set(5)
+	r.Counter("netsim", "ecn_marks").Add(3)
+	r.Histogram("ssd", "gc_ms").Observe(2)
+	snap := r.Snapshot().WithoutComponent("sim")
+	if snap.NumSeries() != 2 {
+		t.Fatalf("%d series after filter, want 2", snap.NumSeries())
+	}
+	if _, ok := snap.Counters["sim/events_processed"]; ok {
+		t.Fatal("sim counter survived")
+	}
+	if snap.Gauges != nil {
+		t.Fatal("empty gauge map should collapse to nil for stable JSON")
+	}
+	if snap.Counters["netsim/ecn_marks"] != 3 {
+		t.Fatal("unrelated counter lost")
+	}
+	if snap.Histograms["ssd/gc_ms"].Count != 1 {
+		t.Fatal("unrelated histogram lost")
+	}
+}
+
+func TestMergeSnapshotsSemantics(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("netsim", "cnps").Add(2)
+	rb.Counter("netsim", "cnps").Add(5)
+	ra.Gauge("nvme", "occupancy").Set(7)
+	rb.Gauge("nvme", "occupancy").Set(3)
+	for _, v := range []float64{1, 2, 3} {
+		ra.Histogram("lat", "ms").Observe(v)
+	}
+	rb.Histogram("lat", "ms").Observe(9)
+	m := MergeSnapshots(ra.Snapshot(), rb.Snapshot())
+	if m.Counters["netsim/cnps"] != 7 {
+		t.Fatalf("counter merge = %v, want sum 7", m.Counters["netsim/cnps"])
+	}
+	if m.Gauges["nvme/occupancy"] != 7 {
+		t.Fatalf("gauge merge = %v, want max 7", m.Gauges["nvme/occupancy"])
+	}
+	h := m.Histograms["lat/ms"]
+	if h.Count != 4 || h.Min != 1 || h.Max != 9 {
+		t.Fatalf("histogram merge = %+v", h)
+	}
+	if want := (1.0 + 2 + 3 + 9) / 4; h.Mean != want {
+		t.Fatalf("merged mean %v, want %v", h.Mean, want)
+	}
+	// A series present in only one snapshot carries over untouched.
+	if MergeSnapshots(ra.Snapshot()).Counters["netsim/cnps"] != 2 {
+		t.Fatal("single-snapshot merge changed values")
+	}
+	if got := MergeSnapshots(); got.NumSeries() != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+}

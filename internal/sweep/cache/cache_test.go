@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	type spec struct {
+		Name  string
+		Count int
+	}
+	a := Key("v1", spec{"fig7", 100})
+	b := Key("v1", spec{"fig7", 100})
+	if a != b {
+		t.Fatalf("same parts, different keys: %s vs %s", a, b)
+	}
+	if Key("v1", spec{"fig7", 101}) == a {
+		t.Fatal("count change did not change key")
+	}
+	if Key("v2", spec{"fig7", 100}) == a {
+		t.Fatal("version change did not change key")
+	}
+	// Map keys are sorted by encoding/json, so insertion order is
+	// irrelevant.
+	m1 := map[string]string{"a": "1", "b": "2"}
+	m2 := map[string]string{"b": "2", "a": "1"}
+	if Key(m1) != Key(m2) {
+		t.Fatal("map insertion order leaked into key")
+	}
+}
+
+func TestGetOrComputeStoresAndHits(t *testing.T) {
+	c := New(t.TempDir())
+	key := Key("artifact", 1)
+	computes := 0
+	compute := func(w io.Writer) error {
+		computes++
+		_, err := w.Write([]byte("payload"))
+		return err
+	}
+	b, hit, err := c.GetOrCompute(key, compute)
+	if err != nil || hit || string(b) != "payload" {
+		t.Fatalf("first: b=%q hit=%v err=%v", b, hit, err)
+	}
+	b, hit, err = c.GetOrCompute(key, compute)
+	if err != nil || !hit || string(b) != "payload" {
+		t.Fatalf("second: b=%q hit=%v err=%v", b, hit, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times", computes)
+	}
+}
+
+func TestComputeErrorStoresNothing(t *testing.T) {
+	c := New(t.TempDir())
+	key := Key("broken")
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(key, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("failed compute left an artifact")
+	}
+	// The shard dir may exist but must hold no files.
+	filepath.WalkDir(c.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			t.Fatalf("stray file %s", path)
+		}
+		return nil
+	})
+}
+
+func TestNilCacheMissesAndComputes(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("ab"); ok {
+		t.Fatal("nil cache hit")
+	}
+	b, hit, err := c.GetOrCompute(Key("x"), func(w io.Writer) error {
+		_, err := w.Write([]byte("fresh"))
+		return err
+	})
+	if err != nil || hit || string(b) != "fresh" {
+		t.Fatalf("nil cache: b=%q hit=%v err=%v", b, hit, err)
+	}
+	if New("") != nil {
+		t.Fatal(`New("") should be nil`)
+	}
+}
+
+func TestPutThenOpenRoundTrip(t *testing.T) {
+	c := New(t.TempDir())
+	key := Key("roundtrip")
+	if err := c.Put(key, func(w io.Writer) error {
+		_, err := w.Write([]byte{1, 2, 3})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := c.Open(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	defer r.Close()
+	b, _ := io.ReadAll(r)
+	if !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("got %v", b)
+	}
+}

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"srcsim/internal/atomicio"
+)
+
+// manifestVersion guards the on-disk manifest schema.
+const manifestVersion = 1
+
+// JobState is one job's entry in the resume manifest. Jobs that were
+// still running (or never started) when the process died simply have no
+// entry — resume re-runs them.
+type JobState struct {
+	// Key is the job's content-address in the artifact cache.
+	Key string `json:"key"`
+	// Status is "done" or "failed".
+	Status string `json:"status"`
+	// Artifact is the per-job artifact path relative to the output
+	// directory (set when Status is "done").
+	Artifact string `json:"artifact,omitempty"`
+	// Error preserves the failure (set when Status is "failed").
+	Error string `json:"error,omitempty"`
+}
+
+// Manifest is the crash-safe campaign checkpoint: it is rewritten
+// atomically after every job completion, so at any kill point it lists
+// exactly the jobs whose artifacts are durably on disk.
+type Manifest struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	// SpecHash content-addresses the expanded campaign; resume refuses
+	// to continue under an edited spec.
+	SpecHash string               `json:"spec_hash"`
+	Jobs     map[string]*JobState `json:"jobs"`
+}
+
+// LoadManifest reads a manifest file; a missing file returns (nil, nil).
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("sweep: manifest %s: version %d, want %d", path, m.Version, manifestVersion)
+	}
+	if m.Jobs == nil {
+		m.Jobs = map[string]*JobState{}
+	}
+	return &m, nil
+}
+
+// write persists the manifest atomically (temp file + fsync + rename),
+// so a crash mid-write leaves the previous checkpoint intact.
+func (m *Manifest) write(path string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}

@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"srcsim/internal/guard"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	err := Pool{Workers: 7}.ForEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	e3, e7 := errors.New("e3"), errors.New("e7")
+	err := Pool{Workers: 4}.ForEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v, want lowest-index error e3", err)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := (Pool{}).ForEach(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachStopSkipsUnstartedJobs(t *testing.T) {
+	st := guard.NewStopper()
+	var ran int32
+	// Single worker: stop after job 2 completes; later indexes drain
+	// without running.
+	err := Pool{Workers: 1, Stop: st}.ForEach(50, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			st.Stop("test")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 3 {
+		t.Fatalf("ran %d jobs, want 3 (0..2)", got)
+	}
+	if !st.Stopped() {
+		t.Fatal("stopper should report fired")
+	}
+}
