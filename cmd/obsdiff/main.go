@@ -1,0 +1,186 @@
+// Command obsdiff compares the metrics of two runs or campaigns and
+// fails when they diverge beyond configured tolerances — a metrics-level
+// regression gate to complement byte-identity checks on reports.
+//
+// Usage:
+//
+//	obsdiff A B                     compare two metric sources
+//	obsdiff -rel 0.01 A B           tolerate 1% relative drift
+//	obsdiff -rel 0.01 -abs 1e-9 A B ...and absolute noise below 1e-9
+//	obsdiff -json A B               machine-readable diff
+//
+// A and B each name one of:
+//
+//	metrics.json     a registry snapshot (srcsim -metrics, sweep output)
+//	aggregate.json   a campaign record; per-job snapshots are merged in
+//	                 job order, reproducing the campaign's metrics.json
+//	<directory>      a sweep output directory (metrics.json preferred,
+//	                 aggregate.json as fallback)
+//
+// Counters and gauges compare directly; histograms compare per digest
+// field (count, mean, p50, p99, p999, min, max). A series present on
+// only one side is a breach unless -ignore-missing.
+//
+// Exit codes:
+//
+//	0  no breach: every difference within tolerance
+//	1  at least one breach (table on stdout, most divergent first)
+//	2  usage or I/O error
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"srcsim/internal/obs"
+)
+
+const (
+	exitOK     = 0
+	exitBreach = 1
+	exitError  = 2
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obsdiff: ")
+	os.Exit(run())
+}
+
+func run() int {
+	rel := flag.Float64("rel", 0, "relative-change tolerance: |b-a|/max(|a|,|b|) at or below this never breaches (0 = any change breaches)")
+	abs := flag.Float64("abs", 0, "absolute-change tolerance: |b-a| at or below this never breaches (applied with -rel; both must be exceeded)")
+	ignoreMissing := flag.Bool("ignore-missing", false, "series present on only one side are informational, not breaches")
+	top := flag.Int("top", 20, "show at most this many non-breaching entries after the breaches (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit the full diff as JSON instead of a table")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		log.Print("need exactly two metric sources (metrics.json, aggregate.json, or a sweep output directory)")
+		flag.Usage()
+		return exitError
+	}
+	pathA, pathB := flag.Arg(0), flag.Arg(1)
+	snapA, err := loadSnapshot(pathA)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+	snapB, err := loadSnapshot(pathB)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+
+	d := obs.DiffSnapshots(snapA, snapB, obs.DiffOptions{
+		Rel:           *rel,
+		Abs:           *abs,
+		IgnoreMissing: *ignoreMissing,
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			log.Print(err)
+			return exitError
+		}
+	} else {
+		printTable(d, *top, pathA, pathB)
+	}
+
+	if d.Breaches > 0 {
+		log.Printf("%d metric(s) diverged beyond tolerance (rel %g, abs %g)", d.Breaches, *rel, *abs)
+		return exitBreach
+	}
+	return exitOK
+}
+
+// printTable renders the diff, breaches first (always all of them),
+// then up to top informational entries.
+func printTable(d obs.Diff, top int, pathA, pathB string) {
+	if len(d.Entries) == 0 {
+		fmt.Printf("identical metrics: %s == %s\n", pathA, pathB)
+		return
+	}
+	fmt.Printf("comparing A=%s B=%s: %d differing, %d breaching\n", pathA, pathB, len(d.Entries), d.Breaches)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "\tSERIES\tA\tB\tABS\tREL")
+	shown := 0
+	for _, e := range d.Entries {
+		mark := ""
+		if e.Breach {
+			mark = "!"
+		} else {
+			if top > 0 && shown >= top {
+				continue
+			}
+			shown++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%g\t%.4g\n",
+			mark, e.Key, obs.FormatValue(e.A, e.PresentA), obs.FormatValue(e.B, e.PresentB), e.Abs, e.Rel)
+	}
+	w.Flush()
+	if top > 0 && len(d.Entries)-d.Breaches > shown {
+		fmt.Printf("(%d more within tolerance; -top 0 shows all)\n", len(d.Entries)-d.Breaches-shown)
+	}
+}
+
+// loadSnapshot resolves a metric source: a sweep output directory, a
+// snapshot file, or an aggregate file (sniffed by its "jobs" field and
+// merged in job order, matching the sweep's own metrics.json).
+func loadSnapshot(path string) (obs.Snapshot, error) {
+	var zero obs.Snapshot
+	fi, err := os.Stat(path)
+	if err != nil {
+		return zero, err
+	}
+	if fi.IsDir() {
+		for _, name := range []string{"metrics.json", "aggregate.json"} {
+			p := filepath.Join(path, name)
+			if _, err := os.Stat(p); err == nil {
+				return loadSnapshot(p)
+			}
+		}
+		return zero, fmt.Errorf("obsdiff: %s: no metrics.json or aggregate.json", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return zero, err
+	}
+
+	// Sniff: an aggregate carries a "jobs" array, a snapshot does not.
+	var probe struct {
+		Jobs []struct {
+			Output struct {
+				Metrics *obs.Snapshot `json:"metrics"`
+			} `json:"output"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(b, &probe); err == nil && probe.Jobs != nil {
+		var snaps []obs.Snapshot
+		for _, j := range probe.Jobs {
+			if j.Output.Metrics != nil {
+				snaps = append(snaps, *j.Output.Metrics)
+			}
+		}
+		if len(snaps) == 0 {
+			return zero, fmt.Errorf("obsdiff: %s: aggregate has no job metrics", path)
+		}
+		return obs.MergeSnapshots(snaps...), nil
+	}
+
+	var snap obs.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return zero, fmt.Errorf("obsdiff: %s: %w", path, err)
+	}
+	if snap.NumSeries() == 0 {
+		return zero, fmt.Errorf("obsdiff: %s: no metric series (wrong file?)", path)
+	}
+	return snap, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"srcsim/internal/obs"
+)
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapshot(marks float64) obs.Snapshot {
+	return obs.Snapshot{
+		Counters: map[string]float64{"netsim/ecn_marks": marks},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"ssd/lat": {Count: 10, Mean: 5, P50: 4, P99: 9, P999: 9.5, Min: 1, Max: 10},
+		},
+	}
+}
+
+// TestLoadSnapshotForms: plain snapshots, aggregates (merged in job
+// order), and sweep directories all resolve to comparable snapshots.
+func TestLoadSnapshotForms(t *testing.T) {
+	dir := t.TempDir()
+
+	snapPath := filepath.Join(dir, "metrics.json")
+	writeJSON(t, snapPath, snapshot(100))
+
+	s, err := loadSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["netsim/ecn_marks"] != 100 {
+		t.Fatalf("snapshot load: %+v", s)
+	}
+
+	// Aggregate: two jobs whose counters must sum on merge.
+	type output struct {
+		Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	}
+	type job struct {
+		ID     string `json:"id"`
+		Output output `json:"output"`
+	}
+	s1, s2 := snapshot(30), snapshot(70)
+	agg := map[string]any{
+		"campaign": "t",
+		"jobs":     []job{{ID: "a", Output: output{Metrics: &s1}}, {ID: "b", Output: output{Metrics: &s2}}},
+	}
+	aggPath := filepath.Join(dir, "aggregate.json")
+	writeJSON(t, aggPath, agg)
+	s, err = loadSnapshot(aggPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["netsim/ecn_marks"] != 100 {
+		t.Fatalf("aggregate merge: %+v", s)
+	}
+	if s.Histograms["ssd/lat"].Count != 20 {
+		t.Fatalf("aggregate histogram merge: %+v", s.Histograms["ssd/lat"])
+	}
+
+	// Directory: metrics.json wins over aggregate.json.
+	s, err = loadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["netsim/ecn_marks"] != 100 || s.Histograms["ssd/lat"].Count != 10 {
+		t.Fatalf("directory load took the wrong file: %+v", s)
+	}
+
+	// Errors: garbage and empty snapshots are refused.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{}"), 0o644)
+	if _, err := loadSnapshot(bad); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestDiffGate: identical sources pass; a perturbed counter breaches;
+// a tolerance wide enough absorbs the perturbation.
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeJSON(t, a, snapshot(100))
+	writeJSON(t, b, snapshot(101))
+
+	sa, err := loadSnapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := loadSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := obs.DiffSnapshots(sa, sa, obs.DiffOptions{}); d.Breaches != 0 {
+		t.Fatalf("self-diff breaches: %+v", d)
+	}
+	if d := obs.DiffSnapshots(sa, sb, obs.DiffOptions{}); d.Breaches != 1 {
+		t.Fatalf("perturbed diff: %+v", d)
+	}
+	if d := obs.DiffSnapshots(sa, sb, obs.DiffOptions{Rel: 0.02}); d.Breaches != 0 {
+		t.Fatalf("tolerant diff: %+v", d)
+	}
+}

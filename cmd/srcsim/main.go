@@ -21,6 +21,15 @@
 //
 //	-metrics out.json         write a metrics-registry snapshot
 //	-trace out.trace.json     write a Chrome trace (chrome://tracing, Perfetto)
+//	-record out.csv           flight recorder: sample every counter/gauge and
+//	                          the per-flow/per-target congestion signals on
+//	                          the sim clock; .csv long format, .jsonl columnar,
+//	                          any other extension Chrome-trace counter events
+//	-record-interval 100us    flight-recorder sample period (sim time)
+//	-record-cap 16384         ring capacity per recorded series
+//	-serve :8080              live inspector: /metrics (Prometheus text),
+//	                          /series (recorder JSON), /progress
+//	-serve-grace 5s           keep the inspector up after the run (wall time)
 //	-progress 100ms           periodic status line on stderr (sim-time interval)
 //
 // Fault injection (any experiment or replay):
@@ -69,6 +78,8 @@ import (
 	"srcsim/internal/guard"
 	"srcsim/internal/harness"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/live"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 )
@@ -125,6 +136,11 @@ func run() int {
 	faultsFile := flag.String("faults", "", "load a fault-injection schedule (JSON, see internal/faults) and replay it into every cluster run")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	recordOut := flag.String("record", "", "write the flight-recorder congestion timeline to this file (.csv long format, .jsonl columnar, anything else Chrome-trace counter JSON)")
+	recordInterval := flag.Duration("record-interval", 100*time.Microsecond, "flight-recorder sample period in sim time")
+	recordCap := flag.Int("record-cap", timeseries.DefaultCapacity, "flight-recorder ring capacity (max samples kept per series)")
+	serveAddr := flag.String("serve", "", "serve the live inspector (/metrics Prometheus text, /series JSON, /progress) on this address during the run, e.g. :8080")
+	serveGrace := flag.Duration("serve-grace", 0, "keep the live inspector up this long (wall time) after the run finishes before exiting")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr every interval of sim time (e.g. 100ms; 0 disables)")
 	audit := flag.Bool("audit", true, "run the conservation auditor on every cluster run (read-only; a violation fails the run)")
 	stallHorizon := flag.Duration("stall-horizon", 0, "arm the liveness watchdog: fail with a diagnostic dump if the oldest in-flight command exceeds this sim-time age with no progress (0 disables)")
@@ -177,16 +193,37 @@ func run() int {
 	// Shared observability sinks, attached to every cluster run via the
 	// harness spec mods; nil values keep all hooks no-ops.
 	var reg *obs.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = obs.NewRegistry()
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer(0)
 	}
+	var recorder *timeseries.Recorder
+	if *recordOut != "" || *serveAddr != "" {
+		recorder = timeseries.New(sim.Time(*recordInterval), *recordCap)
+	}
+	var board *live.Board
+	if *serveAddr != "" {
+		board = live.NewBoard()
+		srv, err := live.Serve(*serveAddr, board)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live inspector on http://%s (/metrics, /series, /progress)\n", srv.Addr())
+		if *serveGrace > 0 {
+			// Hold the inspector up after the run so scrapers racing a
+			// short run still see the final state.
+			defer time.Sleep(*serveGrace)
+		}
+	}
 	withObs := func(s *cluster.Spec) {
 		s.Metrics = reg
 		s.Trace = tracer
+		s.Recorder = recorder
+		s.Board = board
 		s.Faults = faultSched
 		if *progressEvery > 0 {
 			s.Progress = os.Stderr
@@ -197,7 +234,7 @@ func run() int {
 		s.Guard.Stop = stopper
 	}
 	writeObs := func() error {
-		if reg != nil {
+		if reg != nil && *metricsOut != "" {
 			if err := atomicio.WriteFile(*metricsOut, reg.WriteJSON); err != nil {
 				return err
 			}
@@ -205,11 +242,30 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "wrote %d metric series to %s\n", snap.NumSeries(), *metricsOut)
 		}
 		if tracer != nil {
+			if recorder != nil {
+				// Fold the congestion timeline into the same trace so the
+				// counter tracks render alongside the event spans.
+				recorder.EmitChromeCounters(tracer.Scope("recorder"))
+			}
 			if err := atomicio.WriteFile(*traceOut, tracer.WriteChromeTrace); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d trace events (%d dropped) to %s\n",
 				tracer.Len(), tracer.Dropped(), *traceOut)
+		}
+		if recorder != nil && *recordOut != "" {
+			write := recorder.WriteChromeTrace
+			switch {
+			case strings.HasSuffix(*recordOut, ".csv"):
+				write = recorder.WriteCSV
+			case strings.HasSuffix(*recordOut, ".jsonl"):
+				write = recorder.WriteJSONL
+			}
+			if err := atomicio.WriteFile(*recordOut, write); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote flight-recorder timeline (%d series) to %s\n",
+				len(recorder.Dump(1)), *recordOut)
 		}
 		return nil
 	}

@@ -29,6 +29,14 @@
 //	report.txt      every rendered figure/table, in job order
 //	aggregate.json  machine-readable campaign record
 //	metrics.json    merged cross-job metrics snapshot (when present)
+//	progress.jsonl  job-transition log (one JSON line per start/done/
+//	                failed/resumed event, appended atomically); carries
+//	                wall times and an ETA, so it is run-local and
+//	                excluded from byte-determinism comparisons
+//
+// -serve :8080 additionally exposes the campaign live over HTTP:
+// /progress (same data as the latest progress.jsonl line) and /metrics
+// (the merged snapshot so far, Prometheus text exposition).
 //
 // Finished jobs and trained TPMs are reused through the
 // content-addressed cache (-cache, default <out>/cache); re-running an
@@ -56,6 +64,7 @@ import (
 
 	"srcsim/internal/guard"
 	"srcsim/internal/harness"
+	"srcsim/internal/obs/live"
 	"srcsim/internal/sweep"
 	"srcsim/internal/sweep/cache"
 )
@@ -80,6 +89,8 @@ func run() int {
 	resume := flag.Bool("resume", false, "continue a previous run in -out: skip jobs whose artifacts are already on disk")
 	list := flag.Bool("list", false, "list registered experiments with their parameters and exit")
 	maxWall := flag.Duration("max-wall", 0, "stop the campaign gracefully after this much wall-clock time (0 = unlimited)")
+	serveAddr := flag.String("serve", "", "serve the live inspector (/metrics merged Prometheus text, /progress JSON with ETA) on this address during the campaign, e.g. :8080")
+	serveGrace := flag.Duration("serve-grace", 0, "keep the live inspector up this long (wall time) after the campaign finishes before exiting")
 	flag.Parse()
 
 	if *list {
@@ -123,6 +134,22 @@ func run() int {
 	case "off", "0":
 		dir = ""
 	}
+	var board *live.Board
+	if *serveAddr != "" {
+		board = live.NewBoard()
+		srv, err := live.Serve(*serveAddr, board)
+		if err != nil {
+			log.Print(err)
+			return exitError
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: live inspector on http://%s (/metrics, /progress)\n", srv.Addr())
+		if *serveGrace > 0 {
+			// Hold the inspector up after the campaign so scrapers racing
+			// a short run still see the final state.
+			defer time.Sleep(*serveGrace)
+		}
+	}
 	runner := &sweep.Runner{
 		Out:     *out,
 		Cache:   cache.New(dir),
@@ -130,6 +157,7 @@ func run() int {
 		Stop:    stopper,
 		Resume:  *resume,
 		Log:     os.Stderr,
+		Board:   board,
 	}
 	rep, err := runner.Run(spec)
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 	"srcsim/internal/nvme"
 	"srcsim/internal/nvmeof"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/live"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/stats"
@@ -133,6 +135,19 @@ type Spec struct {
 	// trace export. The run appears as one trace "process" named after
 	// the mode. Nil disables tracing with zero overhead.
 	Trace *obs.Tracer
+	// Recorder, when non-nil, attaches the flight recorder: periodic
+	// sim-clock sampling of the registry plus per-layer congestion
+	// probes (queue depth, DCQCN rate/alpha, SRC weight, TXQ credit,
+	// in-flight commands), under mode-prefixed tracks so CompareModes
+	// legs sharing a recorder stay distinct. Nil records nothing and
+	// changes no behaviour.
+	Recorder *timeseries.Recorder
+	// Board, when non-nil, receives wall-clock-latest copies of the
+	// registry snapshot and recorder window every PublishEvery of sim
+	// time (default 10 ms) for the live inspector. Publishing runs as
+	// ordinary engine events and is read-only.
+	Board        *live.Board
+	PublishEvery sim.Time
 	// Progress, when non-nil, gets a one-line status report every
 	// ProgressEvery of sim time (default 100 ms) during Run.
 	Progress      io.Writer

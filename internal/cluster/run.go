@@ -9,6 +9,7 @@ import (
 	"srcsim/internal/core"
 	"srcsim/internal/guard"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/stats"
 	"srcsim/internal/trace"
@@ -157,6 +158,31 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	// ledger exists before any submission fires.
 	unguard := c.installGuard()
 
+	// Flight recorder: read-only per-layer probes sampled on the sim
+	// clock, plus the registry sweep. Started before the first model
+	// event so the t=0 state is in the timeline.
+	stopRecorder := func() {}
+	if spec.Recorder != nil {
+		stopRecorder = spec.Recorder.Start(c.Eng, spec.Metrics, c.recorderProbe())
+	}
+	// Live-inspector publishing: copies of the latest snapshot and
+	// recorder window, handed to the board for the HTTP goroutine. The
+	// engine thread only ever writes copies, never shares live state.
+	publish := func() {
+		spec.Board.PublishSnapshot(spec.Metrics.Snapshot())
+		if spec.Recorder != nil {
+			spec.Board.PublishSeries(spec.Recorder.Dump(2048))
+		}
+	}
+	stopPublish := func() {}
+	if spec.Board != nil {
+		every := spec.PublishEvery
+		if every <= 0 {
+			every = 10 * sim.Millisecond
+		}
+		stopPublish = c.Eng.Ticker(every, publish)
+	}
+
 	// Pause-number sampling (Fig. 8): delta of CNPs received by targets
 	// per metric bucket.
 	var lastCNPs uint64
@@ -201,6 +227,8 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	}
 	stopPause()
 	stopProgress()
+	stopRecorder() // flushes one final sample at drain time
+	stopPublish()
 	unguard()
 	// Always audit once at drain: a leak that emerged after the last
 	// periodic check still fails the run.
@@ -305,7 +333,46 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		snap := reg.Snapshot()
 		res.Metrics = &snap
 	}
+	if spec.Board != nil {
+		// Final publish after the end-of-run metric flush, so the
+		// inspector's last word matches the written artifacts.
+		publish()
+	}
 	return res, nil
+}
+
+// recorderProbe builds the cluster's pull-probe for the flight
+// recorder: every layer's congestion state under mode-prefixed tracks.
+// Track names are precomputed so the per-sample path does not format
+// strings.
+func (c *Cluster) recorderProbe() timeseries.Sampler {
+	mode := c.Spec.Mode.String()
+	netTrack := mode + "/net"
+	clusterTrack := mode + "/cluster"
+	tgtTracks := make([]string, len(c.Targets))
+	for i := range c.Targets {
+		tgtTracks[i] = fmt.Sprintf("%s/t%d", mode, i)
+	}
+	iniTracks := make([]string, len(c.Initiators))
+	for i := range c.Initiators {
+		iniTracks[i] = fmt.Sprintf("%s/i%d", mode, i)
+	}
+	return func(now sim.Time, emit timeseries.Emit) {
+		c.Net.SampleSeries(netTrack, emit)
+		for i, tn := range c.Targets {
+			tn.T.SampleSeries(tgtTracks[i], emit)
+			if tn.Ctl != nil {
+				tn.Ctl.SampleSeries(tgtTracks[i], emit)
+			}
+		}
+		for i, ini := range c.Initiators {
+			ini.SampleSeries(iniTracks[i], emit)
+		}
+		emit(clusterTrack, "completed", timeseries.Counter, float64(c.completed))
+		emit(clusterTrack, "failed", timeseries.Counter, float64(c.failed))
+		emit(clusterTrack, "read_bits", timeseries.Counter, c.readBits.Total())
+		emit(clusterTrack, "write_bits", timeseries.Counter, c.writeBits.Total())
+	}
 }
 
 // flushMetrics folds end-of-run component counters and the engine

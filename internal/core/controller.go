@@ -5,6 +5,7 @@ import (
 
 	"srcsim/internal/nvme"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 )
 
@@ -309,6 +310,20 @@ func (c *Controller) recoverTelemetry(at sim.Time) {
 
 // Degraded reports whether the stale-telemetry fallback is active.
 func (c *Controller) Degraded() bool { return c.degraded }
+
+// SampleSeries is the controller's flight-recorder probe: the active
+// SSQ weight ratio, the degraded flag, the cumulative adjustment count,
+// and the last demanded data sending rate. Read-only.
+func (c *Controller) SampleSeries(track string, emit timeseries.Emit) {
+	emit(track, "src_weight_ratio", timeseries.Gauge, c.SSQ.WeightRatio())
+	degraded := 0.0
+	if c.degraded {
+		degraded = 1
+	}
+	emit(track, "src_degraded", timeseries.Gauge, degraded)
+	emit(track, "src_adjustments", timeseries.Counter, float64(len(c.Events)))
+	emit(track, "src_demand_gbps", timeseries.Gauge, c.lastDemand/1e9)
+}
 
 // CurrentWeightRatio returns the SSQ's active w.
 func (c *Controller) CurrentWeightRatio() float64 { return c.SSQ.WeightRatio() }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 )
 
@@ -388,4 +389,13 @@ func (np *NP) OnMarkedPacket(now sim.Time) bool {
 	np.hasSent = true
 	np.CNPsSent++
 	return true
+}
+
+// SampleSeries is the reaction point's flight-recorder probe: the
+// current/target sending rates and the congestion estimate, emitted
+// under per-flow names built from prefix. Read-only.
+func (rp *RP) SampleSeries(track, prefix string, emit timeseries.Emit) {
+	emit(track, prefix+"_rate_gbps", timeseries.Gauge, rp.rc/1e9)
+	emit(track, prefix+"_target_gbps", timeseries.Gauge, rp.rt/1e9)
+	emit(track, prefix+"_alpha", timeseries.Gauge, rp.alpha)
 }

@@ -19,6 +19,7 @@ import (
 	"srcsim/internal/core"
 	"srcsim/internal/devrun"
 	"srcsim/internal/ml"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 )
@@ -36,8 +37,17 @@ func digestRun(r *cluster.Result) cluster.Digest {
 // clamped to 2000 requests per run); training determinism is covered by
 // the train-probe entry, which collects device samples and fits a fresh
 // forest inside the leg, comparing the serialized model bytes.
-func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
+// record=true attaches a fresh flight recorder to every cluster run;
+// the recorder is read-only by design, so all digests must stay
+// byte-identical to the recorder-off legs.
+func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM, record bool) map[string][]byte {
 	t.Helper()
+	var mods []func(*cluster.Spec)
+	if record {
+		mods = append(mods, func(s *cluster.Spec) {
+			s.Recorder = timeseries.New(10*sim.Microsecond, 4096)
+		})
+	}
 	out := map[string][]byte{}
 	put := func(name string, v any) {
 		b, err := json.Marshal(v)
@@ -99,7 +109,7 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
 	}
 	put("regressor-probe", accs)
 
-	res7, err := Fig7Throughput(tpmCong, 250, 7)
+	res7, err := Fig7Throughput(tpmCong, 250, 7, mods...)
 	if err != nil {
 		t.Fatalf("fig7: %v", err)
 	}
@@ -115,7 +125,7 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
 	}
 	put("fig9", res9)
 
-	rows10, err := Fig10Intensity(tpmCong, 0.02, 13)
+	rows10, err := Fig10Intensity(tpmCong, 0.02, 13, mods...)
 	if err != nil {
 		t.Fatalf("fig10: %v", err)
 	}
@@ -125,7 +135,7 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM) map[string][]byte {
 	}
 	put("fig10", dig10)
 
-	rowsIV, err := TableIV(tpmCong, nil, 0.02, 11)
+	rowsIV, err := TableIV(tpmCong, nil, 0.02, 11, mods...)
 	if err != nil {
 		t.Fatalf("tableIV: %v", err)
 	}
@@ -168,21 +178,26 @@ func TestDeterminismMatrix(t *testing.T) {
 	defer sim.SetPooling(prevPool)
 
 	legs := []struct {
-		name  string
-		procs int
-		pool  bool
+		name   string
+		procs  int
+		pool   bool
+		record bool
 	}{
-		{"procs1-pool", 1, true},
-		{"procsN-pool", defaultProcs, true},
-		{"procs1-nopool", 1, false},
-		{"procsN-nopool", defaultProcs, false},
+		{"procs1-pool", 1, true, false},
+		{"procsN-pool", defaultProcs, true, false},
+		{"procs1-nopool", 1, false, false},
+		{"procsN-nopool", defaultProcs, false, false},
+		// Flight-recorder legs: the recorder samples every run but is
+		// read-only, so results must match the recorder-off reference.
+		{"procs1-pool-record", 1, true, true},
+		{"procsN-nopool-record", defaultProcs, false, true},
 	}
 
 	var ref map[string][]byte
 	for _, leg := range legs {
 		runtime.GOMAXPROCS(leg.procs)
 		sim.SetPooling(leg.pool)
-		got := matrixSuite(t, tpmCong, tpm9)
+		got := matrixSuite(t, tpmCong, tpm9, leg.record)
 		if ref == nil {
 			ref = got
 			continue

@@ -1,0 +1,48 @@
+package netsim
+
+import (
+	"strconv"
+
+	"srcsim/internal/dcqcn"
+	"srcsim/internal/obs/timeseries"
+)
+
+// SampleSeries is the fabric's flight-recorder probe: switch queue
+// occupancy, PFC pause state, the global congestion-signal counters,
+// and per-flow congestion-control state (rate, and for DCQCN target
+// rate and alpha). Read-only; called from the recorder's sample events.
+func (n *Network) SampleSeries(track string, emit timeseries.Emit) {
+	var qTotal, qMax int64
+	pausedPorts := 0
+	for _, node := range n.nodes {
+		for _, p := range node.ports {
+			if p.paused {
+				pausedPorts++
+			}
+			if !node.IsSwitch {
+				continue
+			}
+			qTotal += p.QueueBytes
+			if p.QueueBytes > qMax {
+				qMax = p.QueueBytes
+			}
+		}
+	}
+	emit(track, "switch_queue_bytes_total", timeseries.Gauge, float64(qTotal))
+	emit(track, "switch_queue_bytes_max", timeseries.Gauge, float64(qMax))
+	emit(track, "ports_paused", timeseries.Gauge, float64(pausedPorts))
+	emit(track, "ecn_marks", timeseries.Counter, float64(n.ECNMarks))
+	emit(track, "pfc_pauses", timeseries.Counter, float64(n.PFCPauses))
+	emit(track, "cnps_sent", timeseries.Counter, float64(n.CNPsSent))
+	emit(track, "dropped_packets", timeseries.Counter, float64(n.DroppedPackets))
+
+	for _, f := range n.flows {
+		prefix := "flow" + strconv.Itoa(f.ID)
+		emit(track, prefix+"_queued_bytes", timeseries.Gauge, float64(f.QueuedBytes))
+		if rp, ok := f.RP.(*dcqcn.RP); ok {
+			rp.SampleSeries(track, prefix, emit)
+		} else {
+			emit(track, prefix+"_rate_gbps", timeseries.Gauge, f.RP.Rate()/1e9)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"srcsim/internal/netsim"
 	"srcsim/internal/nvme"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 	"srcsim/internal/trace"
@@ -332,6 +333,21 @@ func (t *Target) TXQCredit() int64 { return t.txqCredit }
 // completions were parking.
 func (t *Target) TXQCreditLow() int64 { return t.txqCreditLow }
 
+// InFlight returns the number of commands currently between arrival and
+// device completion on this target.
+func (t *Target) InFlight() int { return len(t.inflight) }
+
+// SampleSeries is the target's flight-recorder probe: TXQ credit and
+// backlog (the paper's Sec. II-B degradation site), in-flight command
+// count, and the aggregate read-data sending rate. Read-only.
+func (t *Target) SampleSeries(track string, emit timeseries.Emit) {
+	emit(track, "txq_credit_bytes", timeseries.Gauge, float64(t.txqCredit))
+	emit(track, "txq_backlog_bytes", timeseries.Gauge, float64(t.TXQBacklog()))
+	emit(track, "inflight_cmds", timeseries.Gauge, float64(len(t.inflight)))
+	emit(track, "read_send_gbps", timeseries.Gauge, t.ReadSendRate()/1e9)
+	emit(track, "dups_dropped", timeseries.Counter, float64(t.DupsDropped))
+}
+
 // CollectMetrics folds the target's end-of-run counters into a metrics
 // registry; counters accumulate across targets sharing labels. Nil reg
 // is a no-op.
@@ -624,6 +640,14 @@ func (ini *Initiator) CollectMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.Counter("nvmeof", "timeouts", labels...).Add(float64(ini.Timeouts))
 	reg.Counter("nvmeof", "failed_ops", labels...).Add(float64(ini.FailedOps))
 	reg.Counter("nvmeof", "stale_responses", labels...).Add(float64(ini.StaleResponses))
+}
+
+// SampleSeries is the initiator's flight-recorder probe: outstanding
+// retry-armed commands and the recovery counters. Read-only.
+func (ini *Initiator) SampleSeries(track string, emit timeseries.Emit) {
+	emit(track, "pending_cmds", timeseries.Gauge, float64(len(ini.pending)))
+	emit(track, "retries", timeseries.Counter, float64(ini.Retries))
+	emit(track, "timeouts", timeseries.Counter, float64(ini.Timeouts))
 }
 
 func (ini *Initiator) flowTo(m map[netsim.NodeID]*netsim.Flow, dst netsim.NodeID) *netsim.Flow {

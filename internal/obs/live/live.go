@@ -1,0 +1,307 @@
+// Package live is the read-only live inspector for running simulations
+// and campaigns: an opt-in HTTP endpoint serving the wall-clock-latest
+// metrics snapshot (Prometheus text exposition), flight-recorder
+// timeseries windows (JSON), and campaign progress.
+//
+// The simulation engine is single-threaded by design, so the inspector
+// never touches it: the engine (or the sweep runner) periodically
+// publishes immutable copies into a Board, and HTTP handlers serve only
+// those copies through atomic pointers. Publishing with no server
+// attached is cheap; serving with no publisher yields empty-but-valid
+// responses.
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
+)
+
+// CampaignProgress is the /progress view over a sweep campaign: the
+// manifest's job states plus an ETA extrapolated from completed-job
+// wall times. It is also the payload of each progress.jsonl line, so
+// headless runs expose the same data.
+type CampaignProgress struct {
+	Campaign  string   `json:"campaign"`
+	Total     int      `json:"total"`
+	Done      int      `json:"done"`
+	Failed    int      `json:"failed"`
+	Resumed   int      `json:"resumed"`
+	CacheHits int      `json:"cache_hits"`
+	Running   []string `json:"running,omitempty"`
+	Pending   int      `json:"pending"`
+	ElapsedMs float64  `json:"elapsed_ms"`
+	// EtaMs extrapolates the remaining wall time from the mean wall
+	// time of jobs executed in this process (0 until one completes).
+	EtaMs float64 `json:"eta_ms"`
+}
+
+// Board is the handoff point between a publisher (the engine thread or
+// the sweep runner) and the HTTP server: latest-value mailboxes behind
+// atomic pointers. All methods are nil-safe and safe for concurrent
+// use; published values must not be mutated afterwards.
+type Board struct {
+	snap     atomic.Pointer[obs.Snapshot]
+	series   atomic.Pointer[[]timeseries.SeriesDump]
+	progress atomic.Pointer[CampaignProgress]
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board { return &Board{} }
+
+// PublishSnapshot installs the latest metrics snapshot.
+func (b *Board) PublishSnapshot(s obs.Snapshot) {
+	if b == nil {
+		return
+	}
+	b.snap.Store(&s)
+}
+
+// PublishSeries installs the latest flight-recorder window.
+func (b *Board) PublishSeries(ds []timeseries.SeriesDump) {
+	if b == nil {
+		return
+	}
+	b.series.Store(&ds)
+}
+
+// PublishProgress installs the latest campaign progress.
+func (b *Board) PublishProgress(p CampaignProgress) {
+	if b == nil {
+		return
+	}
+	b.progress.Store(&p)
+}
+
+// Snapshot returns the latest published snapshot (zero value when none).
+func (b *Board) Snapshot() obs.Snapshot {
+	if b == nil {
+		return obs.Snapshot{}
+	}
+	if p := b.snap.Load(); p != nil {
+		return *p
+	}
+	return obs.Snapshot{}
+}
+
+// Series returns the latest published recorder window (nil when none).
+func (b *Board) Series() []timeseries.SeriesDump {
+	if b == nil {
+		return nil
+	}
+	if p := b.series.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Progress returns the latest campaign progress and whether one was
+// ever published.
+func (b *Board) Progress() (CampaignProgress, bool) {
+	if b == nil {
+		return CampaignProgress{}, false
+	}
+	if p := b.progress.Load(); p != nil {
+		return *p, true
+	}
+	return CampaignProgress{}, false
+}
+
+// promEscape sanitises a metric-name fragment: Prometheus names admit
+// [a-zA-Z0-9_:] (colons are reserved for rules, so we map to '_').
+func promEscape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// labelValueEscaper escapes label values per the exposition format.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promKey splits a registry series key "component/name{k=v,...}" into a
+// Prometheus metric name ("srcsim_component_name") and label pairs.
+func promKey(key string) (name string, labels []string) {
+	base := key
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		base = key[:i]
+		body := strings.TrimSuffix(key[i+1:], "}")
+		for _, kv := range strings.Split(body, ",") {
+			if k, v, ok := strings.Cut(kv, "="); ok {
+				labels = append(labels, promEscape(k)+`="`+labelValueEscaper.Replace(v)+`"`)
+			}
+		}
+	}
+	comp, rest, ok := strings.Cut(base, "/")
+	if !ok {
+		rest, comp = base, "series"
+	}
+	return "srcsim_" + promEscape(comp) + "_" + promEscape(rest), labels
+}
+
+// renderLabels joins label pairs into a {...} clause ("" when empty).
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families and series
+// are sorted. Histograms are rendered as summaries (quantile label plus
+// _sum/_count).
+func WritePrometheus(w io.Writer, snap obs.Snapshot) error {
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := map[string]*family{}
+	add := func(name, typ, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for k, v := range snap.Counters {
+		name, labels := promKey(k)
+		add(name, "counter", name+renderLabels(labels)+" "+num(v))
+	}
+	for k, v := range snap.Gauges {
+		name, labels := promKey(k)
+		add(name, "gauge", name+renderLabels(labels)+" "+num(v))
+	}
+	for k, h := range snap.Histograms {
+		name, labels := promKey(k)
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.99", h.P99}, {"0.999", h.P999}} {
+			ql := append(append([]string{}, labels...), `quantile="`+q.q+`"`)
+			add(name, "summary", name+renderLabels(ql)+" "+num(q.v))
+		}
+		add(name, "summary", name+"_sum"+renderLabels(labels)+" "+num(h.Mean*float64(h.Count)))
+		add(name, "summary", name+"_count"+renderLabels(labels)+" "+strconv.FormatUint(h.Count, 10))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# HELP srcsim_up Inspector endpoint liveness.\n# TYPE srcsim_up gauge\nsrcsim_up 1\n")
+	for _, name := range names {
+		f := fams[name]
+		sort.Strings(f.lines)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Server is the inspector's HTTP server. Close stops it.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Handler returns the inspector's routes over a board:
+//
+//	/metrics   Prometheus text exposition of the latest snapshot
+//	/series    JSON recorder window; ?track=&name= filter (substring),
+//	           ?last=N trims each series to its newest N samples
+//	/progress  JSON campaign progress (sweep), {} until published
+func Handler(b *Board) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, b.Snapshot())
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ds := b.Series()
+		track, name := r.URL.Query().Get("track"), r.URL.Query().Get("name")
+		last, _ := strconv.Atoi(r.URL.Query().Get("last"))
+		out := make([]timeseries.SeriesDump, 0, len(ds))
+		for _, d := range ds {
+			if track != "" && !strings.Contains(d.Track, track) {
+				continue
+			}
+			if name != "" && !strings.Contains(d.Name, name) {
+				continue
+			}
+			if last > 0 && len(d.T) > last {
+				d.T = d.T[len(d.T)-last:]
+				d.V = d.V[len(d.V)-last:]
+			}
+			out = append(out, d)
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		p, ok := b.Progress()
+		if !ok {
+			io.WriteString(w, "{}\n")
+			return
+		}
+		_ = json.NewEncoder(w).Encode(p)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "srcsim live inspector\n/metrics  Prometheus text\n/series   recorder timeseries (track=, name=, last=)\n/progress campaign progress\n")
+	})
+	return mux
+}
+
+// Serve starts the inspector on addr (e.g. ":8080", "127.0.0.1:0") in a
+// background goroutine. The returned server's Addr reports the bound
+// address.
+func Serve(addr string, b *Board) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(b), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,156 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"srcsim/internal/obs"
+	"srcsim/internal/obs/timeseries"
+)
+
+func testSnapshot() obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Counter("netsim", "ecn_marks", obs.L("mode", "DCQCN-SRC")).Add(42)
+	reg.Counter("netsim", "ecn_marks", obs.L("mode", "DCQCN-Only")).Add(7)
+	reg.Gauge("nvmeof", "txq_credit_low", obs.L("mode", "DCQCN-SRC")).Set(-3)
+	h := reg.Histogram("ssd", "read_latency_us")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	return reg.Snapshot()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"srcsim_up 1",
+		"# TYPE srcsim_netsim_ecn_marks counter",
+		`srcsim_netsim_ecn_marks{mode="DCQCN-SRC"} 42`,
+		`srcsim_netsim_ecn_marks{mode="DCQCN-Only"} 7`,
+		"# TYPE srcsim_nvmeof_txq_credit_low gauge",
+		"# TYPE srcsim_ssd_read_latency_us summary",
+		`srcsim_ssd_read_latency_us{quantile="0.999"}`,
+		"srcsim_ssd_read_latency_us_count 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic rendering.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("exposition not deterministic")
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	name, labels := promKey("core/weight ratio{site=a/b.c,mode=X}")
+	if name != "srcsim_core_weight_ratio" {
+		t.Fatalf("name %q", name)
+	}
+	joined := strings.Join(labels, ",")
+	if !strings.Contains(joined, `site="a/b.c"`) || !strings.Contains(joined, `mode="X"`) {
+		t.Fatalf("labels %q", joined)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	b := NewBoard()
+	h := Handler(b)
+
+	// Empty board: valid, empty responses.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "srcsim_up 1") {
+		t.Fatalf("empty /metrics: %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	var empty map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &empty); err != nil {
+		t.Fatalf("empty /progress not JSON: %v", err)
+	}
+
+	// Published state shows up.
+	b.PublishSnapshot(testSnapshot())
+	b.PublishSeries([]timeseries.SeriesDump{
+		{Track: "DCQCN-SRC/net", Name: "ecn_marks", Kind: "counter", T: []int64{1, 2, 3}, V: []float64{1, 1, 2}},
+		{Track: "DCQCN-Only/net", Name: "queue", Kind: "gauge", T: []int64{5}, V: []float64{9}},
+	})
+	b.PublishProgress(CampaignProgress{Campaign: "smoke", Total: 7, Done: 3, Pending: 4})
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "srcsim_netsim_ecn_marks") {
+		t.Fatal("/metrics missing published counter")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/series?track=SRC&last=2", nil))
+	var ds []timeseries.SeriesDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
+		t.Fatalf("/series: %v", err)
+	}
+	if len(ds) != 1 || ds[0].Track != "DCQCN-SRC/net" {
+		t.Fatalf("/series filter: %+v", ds)
+	}
+	if len(ds[0].T) != 2 || ds[0].T[0] != 2 {
+		t.Fatalf("/series last window: %+v", ds[0])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	var p CampaignProgress
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Campaign != "smoke" || p.Done != 3 {
+		t.Fatalf("/progress: %+v", p)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	b := NewBoard()
+	s, err := Serve("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+}
+
+func TestNilBoardSafe(t *testing.T) {
+	var b *Board
+	b.PublishSnapshot(obs.Snapshot{})
+	b.PublishSeries(nil)
+	b.PublishProgress(CampaignProgress{})
+	if s := b.Snapshot(); s.NumSeries() != 0 {
+		t.Fatal("nil board snapshot")
+	}
+	if b.Series() != nil {
+		t.Fatal("nil board series")
+	}
+	if _, ok := b.Progress(); ok {
+		t.Fatal("nil board progress")
+	}
+}

@@ -243,6 +243,7 @@ type HistogramSnapshot struct {
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 }
@@ -289,6 +290,7 @@ func (r *Registry) Snapshot() Snapshot {
 				Mean:  h.h.Mean(),
 				P50:   h.h.Quantile(0.5),
 				P99:   h.h.Quantile(0.99),
+				P999:  h.h.Quantile(0.999),
 				Min:   h.h.Min(),
 				Max:   h.h.Max(),
 			}
@@ -406,6 +408,7 @@ func mergeHistDigest(a, b HistogramSnapshot) HistogramSnapshot {
 		Mean:  a.Mean*wa + b.Mean*wb,
 		P50:   a.P50*wa + b.P50*wb,
 		P99:   a.P99*wa + b.P99*wb,
+		P999:  a.P999*wa + b.P999*wb,
 		Min:   a.Min,
 		Max:   a.Max,
 	}

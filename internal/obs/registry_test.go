@@ -175,3 +175,94 @@ func TestMergeSnapshotsSemantics(t *testing.T) {
 		t.Fatal("empty merge should be empty")
 	}
 }
+
+// Merging is order-independent for everything except the quantile
+// approximation: counters, gauges, histogram count/mean/min/max must
+// not depend on which campaign job finished first.
+func TestMergeSnapshotsOrderIndependence(t *testing.T) {
+	mk := func(c float64, g float64, obsv []float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("netsim", "cnps").Add(c)
+		r.Gauge("nvme", "occupancy").Set(g)
+		h := r.Histogram("lat", "ms")
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk(2, 7, []float64{1, 2, 3})
+	b := mk(5, 3, []float64{9})
+	c := mk(1, 9, []float64{0.5, 20})
+
+	ab := MergeSnapshots(a, b, c)
+	ba := MergeSnapshots(c, b, a)
+	if ab.Counters["netsim/cnps"] != ba.Counters["netsim/cnps"] {
+		t.Fatal("counter merge order-dependent")
+	}
+	if ab.Gauges["nvme/occupancy"] != ba.Gauges["nvme/occupancy"] {
+		t.Fatal("gauge merge order-dependent")
+	}
+	ha, hb := ab.Histograms["lat/ms"], ba.Histograms["lat/ms"]
+	if ha.Count != hb.Count || ha.Min != hb.Min || ha.Max != hb.Max {
+		t.Fatalf("histogram exact fields order-dependent: %+v vs %+v", ha, hb)
+	}
+	if diff := ha.Mean - hb.Mean; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("histogram mean order-dependent: %v vs %v", ha.Mean, hb.Mean)
+	}
+}
+
+// The sweep's metrics.json pipeline — strip the wall-clock "sim"
+// component per job, then merge in job order — must be byte-stable
+// under JSON round-trips of the intermediate snapshots, which is
+// exactly what resuming from on-disk artifacts does.
+func TestMergeAfterWithoutComponentByteStable(t *testing.T) {
+	mk := func(seed float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("sim", "events_processed").Add(seed * 100)
+		r.Gauge("sim", "heap_high_water").Set(seed)
+		r.Counter("netsim", "ecn_marks").Add(seed)
+		r.Gauge("core", "weight_ratio").Set(seed + 1)
+		h := r.Histogram("ssd", "lat_us")
+		for i := 0; i < int(seed)+3; i++ {
+			h.Observe(seed*10 + float64(i))
+		}
+		return r.Snapshot().WithoutComponent("sim")
+	}
+
+	encode := func(s Snapshot) []byte {
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	direct := MergeSnapshots(mk(1), mk(2), mk(3))
+	for k := range direct.Counters {
+		if k == "sim/events_processed" {
+			t.Fatal("sim component leaked through merge")
+		}
+	}
+
+	// Round-trip each per-job snapshot through JSON (artifact files),
+	// re-merge, and require identical bytes.
+	var rt []Snapshot
+	for _, s := range []Snapshot{mk(1), mk(2), mk(3)} {
+		var back Snapshot
+		if err := json.Unmarshal(encode(s), &back); err != nil {
+			t.Fatal(err)
+		}
+		rt = append(rt, back)
+	}
+	resumed := MergeSnapshots(rt...)
+	if !bytes.Equal(encode(direct), encode(resumed)) {
+		t.Fatalf("merge not byte-stable across artifact round-trip:\n%s\n---\n%s",
+			encode(direct), encode(resumed))
+	}
+
+	// Repeating the whole pipeline is deterministic byte-for-byte.
+	again := MergeSnapshots(mk(1), mk(2), mk(3))
+	if !bytes.Equal(encode(direct), encode(again)) {
+		t.Fatal("merge pipeline not deterministic")
+	}
+}

@@ -338,6 +338,35 @@ func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
 	}
 }
 
+// Sampler invokes fn at the current instant and then every period until
+// cancelled via the returned stop function — Ticker with an immediate
+// first fire. It is the flight recorder's scheduling hook: sampling is
+// an ordinary engine event, so a recorded run replays the exact same
+// event sequence every time, and the t=0 state is always captured.
+// fn runs with the engine clock at each sample time.
+func (e *Engine) Sampler(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: sampler period %v must be positive", period))
+	}
+	var ev Handle
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.After(period, tick)
+		}
+	}
+	ev = e.Schedule(e.now, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}
+
 // The event queue is a 4-ary indexed min-heap on (at, seq), sifted with
 // inlined comparisons: no interface dispatch, no `any` boxing, and half
 // the tree depth of the binary heap it replaced. idx tracking makes

@@ -265,3 +265,38 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.RunUntilIdle()
 	}
 }
+
+func TestSamplerFiresImmediatelyThenPeriodically(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3, func() {}) // advance the clock before the sampler starts
+	e.Run(MaxTime)
+	var ticks []Time
+	stop := e.Sampler(10, func() { ticks = append(ticks, e.Now()) })
+	e.Schedule(28, func() { stop() })
+	e.RunUntilIdle()
+	want := []Time{3, 13, 23}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i, at := range want {
+		if ticks[i] != at {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], at)
+		}
+	}
+}
+
+func TestSamplerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Sampler(5, func() {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	e.RunUntilIdle()
+	if n != 3 {
+		t.Fatalf("sampler fired %d times after in-callback stop, want 3", n)
+	}
+}

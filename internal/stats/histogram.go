@@ -9,15 +9,24 @@ import (
 // Histogram is a fixed-memory log₂-bucketed histogram for positive
 // values (latencies, sizes). Bucket i covers [2^i, 2^(i+1)); values
 // below 1 land in bucket 0. Quantiles are estimated by linear
-// interpolation inside the containing bucket, giving ≤ 50% relative
-// error at any scale with 64 counters — the usual trade for streaming
-// latency percentiles.
+// interpolation between each bucket's observed extremes: every bucket
+// tracks the smallest and largest value it received, so the
+// interpolation span is the range values actually occupied rather than
+// the full power-of-two width. That keeps tail quantiles (p99/p999)
+// tight when a bucket holds a narrow cluster, and because bucket ranges
+// never overlap the estimates stay monotone in q.
 type Histogram struct {
 	counts [64]uint64
-	total  uint64
-	sum    float64
-	min    float64
-	max    float64
+	// Per-bucket observed extremes; valid only where counts[i] > 0.
+	// Bucket value ranges are disjoint and ordered (the edge buckets
+	// absorb underflow/overflow but stay below/above every other
+	// bucket), so bmax[i] <= bmin[j] for occupied i < j — the
+	// monotonicity invariant Quantile relies on.
+	bmin, bmax [64]float64
+	total      uint64
+	sum        float64
+	min        float64
+	max        float64
 }
 
 // Add folds one observation in; non-positive values count into bucket 0.
@@ -31,6 +40,12 @@ func (h *Histogram) Add(v float64) {
 		if idx > 63 {
 			idx = 63
 		}
+	}
+	if h.counts[idx] == 0 || v < h.bmin[idx] {
+		h.bmin[idx] = v
+	}
+	if h.counts[idx] == 0 || v > h.bmax[idx] {
+		h.bmax[idx] = v
 	}
 	h.counts[idx]++
 	if h.total == 0 || v < h.min {
@@ -78,21 +93,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if seen+float64(c) >= rank {
-			lo := math.Exp2(float64(i))
-			hi := math.Exp2(float64(i + 1))
-			if i == 0 {
-				lo = 0
-			}
+			// Interpolate across the values the bucket actually saw, not
+			// its full power-of-two span.
+			lo, hi := h.bmin[i], h.bmax[i]
 			frac := (rank - seen) / float64(c)
-			v := lo + (hi-lo)*frac
-			// Clamp to the observed range for edge buckets.
-			if v < h.min {
-				v = h.min
-			}
-			if v > h.max {
-				v = h.max
-			}
-			return v
+			return lo + (hi-lo)*frac
 		}
 		seen += float64(c)
 	}

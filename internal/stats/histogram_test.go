@@ -148,3 +148,121 @@ func TestHistogramString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// Tail quantiles must interpolate across the values a bucket actually
+// received, not its full power-of-two span. A tight cluster deep inside
+// a wide bucket is the worst case for full-span interpolation (up to 2x
+// error at the top buckets); per-bucket extremes recover it exactly.
+func TestHistogramTailPrecisionTightCluster(t *testing.T) {
+	var h Histogram
+	// 1% of mass low, 99% at exactly 1500 (inside [1024, 2048)).
+	for i := 0; i < 10; i++ {
+		h.Add(3)
+	}
+	for i := 0; i < 990; i++ {
+		h.Add(1500)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got := h.Quantile(q); got != 1500 {
+			t.Fatalf("p%g = %g, want exactly 1500", q*100, got)
+		}
+	}
+
+	// A narrow band [1500, 1510] bounds every tail estimate to the band.
+	var b Histogram
+	for i := 0; i < 1000; i++ {
+		b.Add(1500 + float64(i%11))
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		got := b.Quantile(q)
+		if got < 1500 || got > 1510 {
+			t.Fatalf("p%g = %g outside observed band [1500, 1510]", q*100, got)
+		}
+	}
+}
+
+// Per-bucket extremes must respect bucket boundaries so that the
+// disjoint-ranges invariant (and with it quantile monotonicity) holds,
+// including the underflow bucket (which absorbs v < 1, even negative)
+// and the overflow bucket (v >= 2^63).
+func TestHistogramBucketExtremes(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	h.Add(0.25)
+	h.Add(1)
+	h.Add(math.Nextafter(2, 0)) // still bucket 0: [1, 2) plus underflow
+	h.Add(2)
+	h.Add(3)
+	h.Add(1024)
+	h.Add(2047)
+	h.Add(math.Exp2(64))
+
+	if h.bmin[0] != -5 || h.bmax[0] != math.Nextafter(2, 0) {
+		t.Fatalf("bucket 0 extremes [%g, %g], want [-5, nextafter(2))", h.bmin[0], h.bmax[0])
+	}
+	if h.bmin[1] != 2 || h.bmax[1] != 3 {
+		t.Fatalf("bucket 1 extremes [%g, %g], want [2, 3]", h.bmin[1], h.bmax[1])
+	}
+	if h.bmin[10] != 1024 || h.bmax[10] != 2047 {
+		t.Fatalf("bucket 10 extremes [%g, %g], want [1024, 2047]", h.bmin[10], h.bmax[10])
+	}
+	if h.bmin[63] != math.Exp2(64) {
+		t.Fatalf("overflow bucket min %g", h.bmin[63])
+	}
+
+	// Occupied buckets have disjoint, ordered value ranges.
+	last := math.Inf(-1)
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
+		if h.bmin[i] < last {
+			t.Fatalf("bucket %d min %g below previous bucket max %g", i, h.bmin[i], last)
+		}
+		if h.bmax[i] < h.bmin[i] {
+			t.Fatalf("bucket %d inverted extremes [%g, %g]", i, h.bmin[i], h.bmax[i])
+		}
+		last = h.bmax[i]
+	}
+}
+
+// Quantiles with per-bucket extremes stay monotone and within the
+// observed range on adversarial inputs mixing sub-1 underflow values,
+// exact powers of two, and near-boundary values.
+func TestPropertyHistogramQuantileWithinObserved(t *testing.T) {
+	f := func(raw []int16, shifts []uint8) bool {
+		var h Histogram
+		var vals []float64
+		add := func(v float64) {
+			h.Add(v)
+			vals = append(vals, v)
+		}
+		for _, v := range raw {
+			add(float64(v) / 16) // mixes negatives and sub-1 values
+		}
+		for _, s := range shifts {
+			pow := math.Exp2(float64(s % 40))
+			add(pow)
+			add(math.Nextafter(pow, 0))
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			cur := h.Quantile(q)
+			if cur < prev-1e-9 {
+				return false
+			}
+			if cur < vals[0]-1e-9 || cur > vals[len(vals)-1]+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"srcsim/internal/obs/live"
+)
+
+// progressEvent is one line of <out>/progress.jsonl: the job transition
+// that happened plus the full campaign progress after it. Headless runs
+// and the live inspector's /progress endpoint therefore expose the same
+// data — the file is the event log, the endpoint the latest line.
+//
+// progress.jsonl carries wall-clock timings and run-local state, so it
+// is deliberately excluded from the campaign's byte-determinism set
+// (report.txt, aggregate.json, metrics.json).
+type progressEvent struct {
+	Event  string  `json:"event"` // start | done | failed | resumed
+	Job    string  `json:"job"`
+	Cached bool    `json:"cached,omitempty"`
+	WallMs float64 `json:"wall_ms,omitempty"`
+	live.CampaignProgress
+}
+
+// progressTracker folds job transitions into a CampaignProgress,
+// appends each transition to progress.jsonl (one Write per line, on an
+// O_APPEND descriptor, so concurrent workers never interleave partial
+// lines), and publishes the latest state to the live board.
+type progressTracker struct {
+	mu      sync.Mutex
+	f       *os.File // nil = file disabled
+	board   *live.Board
+	start   time.Time
+	total   int
+	workers int
+
+	campaign  string
+	done      int
+	failed    int
+	resumed   int
+	cacheHits int
+	running   map[string]struct{}
+
+	// Mean wall time over jobs executed in this process feeds the ETA;
+	// cache hits and resumed jobs are excluded (they cost ~nothing and
+	// would collapse the estimate).
+	wallSum time.Duration
+	wallN   int
+}
+
+// newProgressTracker opens path for append (empty path disables the
+// file; the board may be nil too, making the tracker a cheap no-op).
+func newProgressTracker(path, campaign string, total, workers int, board *live.Board) (*progressTracker, error) {
+	var f *os.File
+	if path != "" {
+		var err error
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &progressTracker{
+		f:        f,
+		board:    board,
+		start:    time.Now(),
+		total:    total,
+		workers:  workers,
+		campaign: campaign,
+		running:  map[string]struct{}{},
+	}, nil
+}
+
+// snapshotLocked builds the current CampaignProgress; callers hold mu.
+func (p *progressTracker) snapshotLocked() live.CampaignProgress {
+	running := make([]string, 0, len(p.running))
+	for id := range p.running {
+		running = append(running, id)
+	}
+	// Sorted for stable JSON; map order is random.
+	for i := 1; i < len(running); i++ {
+		for j := i; j > 0 && running[j] < running[j-1]; j-- {
+			running[j], running[j-1] = running[j-1], running[j]
+		}
+	}
+	pending := p.total - p.done - p.failed - p.resumed - len(running)
+	if pending < 0 {
+		pending = 0
+	}
+	cp := live.CampaignProgress{
+		Campaign:  p.campaign,
+		Total:     p.total,
+		Done:      p.done,
+		Failed:    p.failed,
+		Resumed:   p.resumed,
+		CacheHits: p.cacheHits,
+		Running:   running,
+		Pending:   pending,
+		ElapsedMs: float64(time.Since(p.start)) / float64(time.Millisecond),
+	}
+	if p.wallN > 0 {
+		mean := float64(p.wallSum) / float64(p.wallN)
+		remaining := float64(pending + len(running))
+		cp.EtaMs = mean * remaining / float64(p.workers) / float64(time.Millisecond)
+	}
+	return cp
+}
+
+// emitLocked appends one event line and publishes the board state.
+func (p *progressTracker) emitLocked(event, job string, cached bool, wall time.Duration) {
+	cp := p.snapshotLocked()
+	p.board.PublishProgress(cp)
+	if p.f == nil {
+		return
+	}
+	ev := progressEvent{Event: event, Job: job, Cached: cached, CampaignProgress: cp}
+	if wall > 0 {
+		ev.WallMs = float64(wall) / float64(time.Millisecond)
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	// One Write per line on an O_APPEND fd: atomic with respect to other
+	// appends, so a tail -f or a crash never sees a torn line.
+	p.f.Write(append(line, '\n'))
+}
+
+func (p *progressTracker) jobStarted(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running[id] = struct{}{}
+	p.emitLocked("start", id, false, 0)
+}
+
+func (p *progressTracker) jobResumed(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, id)
+	p.resumed++
+	p.emitLocked("resumed", id, false, 0)
+}
+
+// jobFinished records a done/failed transition. ok=false means failed;
+// cached marks a content-cache hit; wall is the job's execution time
+// (0 for cache hits, which are excluded from the ETA estimate).
+func (p *progressTracker) jobFinished(id string, ok, cached bool, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, id)
+	event := "done"
+	if ok {
+		p.done++
+		if cached {
+			p.cacheHits++
+		}
+	} else {
+		p.failed++
+		event = "failed"
+	}
+	if !cached {
+		p.wallSum += wall
+		p.wallN++
+	}
+	p.emitLocked(event, id, cached, wall)
+}
+
+// jobAbandoned reverses jobStarted for a cancelled run that stays
+// pending in the manifest (no event line; the job did not transition).
+func (p *progressTracker) jobAbandoned(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, id)
+}
+
+// close flushes nothing (every line is already on disk) and releases
+// the file.
+func (p *progressTracker) close() {
+	if p == nil || p.f == nil {
+		return
+	}
+	p.f.Close()
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"srcsim/internal/atomicio"
 	"srcsim/internal/cluster"
@@ -17,6 +18,7 @@ import (
 	"srcsim/internal/guard"
 	"srcsim/internal/harness"
 	"srcsim/internal/obs"
+	"srcsim/internal/obs/live"
 	"srcsim/internal/sweep/cache"
 	"srcsim/internal/sweep/pool"
 )
@@ -91,6 +93,13 @@ type Runner struct {
 	Resume bool
 	// Log receives human progress lines (nil = discarded).
 	Log io.Writer
+	// Board receives live campaign progress and an incrementally merged
+	// metrics snapshot for the -serve inspector (nil = no publishing).
+	Board *live.Board
+	// ProgressPath overrides the progress.jsonl destination (machine-
+	// readable job-transition log, appended atomically per event);
+	// "" defaults to <out>/progress.jsonl.
+	ProgressPath string
 	// TPM overrides shared-model resolution (tests inject pre-trained
 	// models); nil trains per the campaign spec, behind Cache.
 	TPM func(kind harness.TPMKind) (*core.TPM, error)
@@ -227,6 +236,21 @@ func (r *Runner) Run(spec *CampaignSpec) (*Report, error) {
 	}
 	r.logf("sweep: campaign %s: %d jobs", spec.Name, len(jobs))
 
+	progressPath := r.ProgressPath
+	if progressPath == "" {
+		progressPath = filepath.Join(r.Out, "progress.jsonl")
+	}
+	prog, err := newProgressTracker(progressPath, spec.Name, len(jobs), workers, r.Board)
+	if err != nil {
+		return nil, err
+	}
+	defer prog.close()
+
+	// liveSnaps feeds the inspector's /metrics an incrementally merged
+	// view in completion order; the on-disk metrics.json is rebuilt in
+	// job order by aggregate() and stays deterministic.
+	var liveSnaps []obs.Snapshot
+
 	p := pool.Pool{Workers: workers, Stop: r.Stop}
 	poolErr := p.ForEach(len(jobs), func(i int) error {
 		job := jobs[i]
@@ -244,15 +268,20 @@ func (r *Runner) Run(spec *CampaignSpec) (*Report, error) {
 				mu.Lock()
 				rep.Resumed++
 				mu.Unlock()
+				prog.jobResumed(job.ID)
 				r.logf("sweep: %s resumed (already done)", job.ID)
 				return nil
 			}
 		}
 
+		prog.jobStarted(job.ID)
+		jobStart := time.Now()
 		payload, hit, runErr := r.runJob(exp, job, key, memo)
+		wall := time.Since(jobStart)
 		if payload == nil && runErr == nil {
 			// Cancelled before or during the run: leave the job pending
 			// for resume.
+			prog.jobAbandoned(job.ID)
 			return nil
 		}
 
@@ -262,6 +291,7 @@ func (r *Runner) Run(spec *CampaignSpec) (*Report, error) {
 		if runErr != nil {
 			rep.Failed++
 			manifest.Jobs[job.ID] = &JobState{Key: key, Status: "failed", Error: runErr.Error()}
+			prog.jobFinished(job.ID, false, false, wall)
 			r.logf("sweep: %s FAILED: %v", job.ID, runErr)
 			return manifest.write(manifestPath)
 		}
@@ -286,6 +316,11 @@ func (r *Runner) Run(spec *CampaignSpec) (*Report, error) {
 			r.logf("sweep: %s done (cache hit)", job.ID)
 		} else {
 			r.logf("sweep: %s done", job.ID)
+		}
+		prog.jobFinished(job.ID, true, hit, wall)
+		if r.Board != nil && payload.Metrics != nil {
+			liveSnaps = append(liveSnaps, *payload.Metrics)
+			r.Board.PublishSnapshot(obs.MergeSnapshots(liveSnaps...))
 		}
 		manifest.Jobs[job.ID] = &JobState{Key: key, Status: "done", Artifact: artRel}
 		return manifest.write(manifestPath)
@@ -426,6 +461,9 @@ func (r *Runner) aggregate(spec *CampaignSpec, specHash string, jobs []Job, mani
 	}
 	if len(snaps) > 0 {
 		merged := obs.MergeSnapshots(snaps...)
+		// The inspector's final /metrics view matches metrics.json
+		// exactly (job order), replacing the completion-order estimate.
+		r.Board.PublishSnapshot(merged)
 		if err := atomicio.WriteFile(filepath.Join(r.Out, "metrics.json"), func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
