@@ -32,10 +32,14 @@
 //	-serve-grace 5s           keep the inspector up after the run (wall time)
 //	-progress 100ms           periodic status line on stderr (sim-time interval)
 //
-// Fault injection (any experiment or replay):
+// Fault injection & adaptation (any experiment or replay):
 //
 //	-faults chaos.json        replay a deterministic fault schedule
 //	                          (see internal/faults and EXPERIMENTS.md)
+//	-adapt                    arm adaptive SRC (in-run retraining +
+//	                          degradation ladder; see DESIGN.md); the
+//	                          adapt-aging/adapt-phase/adapt-failover
+//	                          experiments arm their own tuning
 //
 // Run governance (any experiment or replay; see internal/guard):
 //
@@ -134,6 +138,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -replay runs")
 	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
 	faultsFile := flag.String("faults", "", "load a fault-injection schedule (JSON, see internal/faults) and replay it into every cluster run")
+	adapt := flag.Bool("adapt", false, "arm adaptive SRC (in-run TPM retraining + degradation ladder, default tuning) on every cluster run; the adapt-* experiments tune it themselves")
 	metricsOut := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	recordOut := flag.String("record", "", "write the flight-recorder congestion timeline to this file (.csv long format, .jsonl columnar, anything else Chrome-trace counter JSON)")
@@ -224,7 +229,17 @@ func run() int {
 		s.Trace = tracer
 		s.Recorder = recorder
 		s.Board = board
-		s.Faults = faultSched
+		if faultSched != nil {
+			// -faults replaces any schedule the experiment installed;
+			// without the flag, scenarios that arm their own chaos
+			// (adapt-*) keep it.
+			s.Faults = faultSched
+		}
+		if *adapt && !s.SRC.Adaptive.Enabled {
+			// Default tuning (core.AdaptiveConfig defaults); scenarios
+			// that armed their own adaptive config keep it.
+			s.SRC.Adaptive.Enabled = true
+		}
 		if *progressEvery > 0 {
 			s.Progress = os.Stderr
 			s.ProgressEvery = sim.Time(*progressEvery)

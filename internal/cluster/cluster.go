@@ -235,6 +235,12 @@ type Cluster struct {
 	writeBits *stats.TimeSeries
 	pauses    *stats.TimeSeries
 
+	// Per-target cumulative bit counters feeding the adaptive
+	// controllers' measured-throughput observations; nil unless
+	// Spec.SRC.Adaptive is armed (so non-adaptive runs pay nothing).
+	adaptReadBits  []float64
+	adaptWriteBits []float64
+
 	completed int
 	failed    int
 	total     int
@@ -303,12 +309,19 @@ func New(spec Spec) (*Cluster, error) {
 		telemetryStalled: make([]bool, spec.Targets),
 		sc:               sc,
 	}
+	if spec.Mode == DCQCNSRC && spec.SRC.Adaptive.Enabled {
+		c.adaptReadBits = make([]float64, spec.Targets)
+		c.adaptWriteBits = make([]float64, spec.Targets)
+	}
 
 	for i := 0; i < spec.Initiators; i++ {
 		ini := nvmeof.NewInitiator(net, eng, hosts[i])
 		ini.OnComplete = func(req trace.Request, readData bool, at sim.Time) {
 			if readData {
 				c.readBits.Add(at, float64(req.Size)*8)
+				if c.adaptReadBits != nil {
+					c.adaptReadBits[req.Target] += float64(req.Size) * 8
+				}
 			}
 			c.completed++
 			if c.completed+c.failed >= c.total && c.total > 0 {
@@ -390,8 +403,12 @@ func New(spec Spec) (*Cluster, error) {
 				}
 			}
 		}
+		wIdx := tIdx
 		tn.T.OnWriteComplete = func(req trace.Request, at sim.Time) {
 			c.writeBits.Add(at, float64(req.Size)*8)
+			if c.adaptWriteBits != nil {
+				c.adaptWriteBits[wIdx] += float64(req.Size) * 8
+			}
 		}
 
 		if spec.Mode == DCQCNSRC {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"srcsim/internal/sim"
@@ -154,7 +155,7 @@ func TestResultSummaryJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != sum {
+	if !reflect.DeepEqual(back, sum) {
 		t.Fatalf("JSON round trip: %+v vs %+v", back, sum)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"srcsim/internal/atomicio"
 	"srcsim/internal/core"
@@ -83,9 +84,33 @@ type Result struct {
 	// WeightEvents merges all SRC adjustments (empty unless DCQCN-SRC).
 	WeightEvents []core.AdjustEvent
 
+	// Adaptive-ladder ledger (empty unless Spec.SRC.Adaptive is armed):
+	// every per-target ladder transition merged in time order, the
+	// retraining counters summed across targets, and the run's
+	// time-to-recover — from the first severe descent (ModelFree or
+	// Static: the model is out of the loop) until every target that left
+	// Predictive is back on it (AdaptRecovered false when the run ends
+	// still degraded).
+	Ladder         []LadderStep
+	Retrains       uint64
+	Promotions     uint64
+	Rejections     uint64
+	AdaptRecovered bool
+	AdaptRecoverMs float64
+
 	// Metrics is the registry snapshot taken after the end-of-run flush;
 	// nil unless Spec.Metrics was set.
 	Metrics *obs.Snapshot
+}
+
+// LadderStep is one adaptive-ladder transition in the run ledger,
+// timestamped in run milliseconds.
+type LadderStep struct {
+	Target int     `json:"target"`
+	AtMs   float64 `json:"at_ms"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Reason string  `json:"reason"`
 }
 
 // Run drives the trace through the cluster and collects metrics. It can
@@ -195,6 +220,43 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		lastCNPs = cur
 	})
 
+	// Adaptive observation feed: every ObserveEvery, hand each target's
+	// measured read/write throughput over the elapsed interval to its
+	// controller (training samples + shadow-prediction scoring + ladder
+	// transitions + due retrains). Absent entirely on non-adaptive runs,
+	// so their event sequence is unchanged.
+	stopObserve := func() {}
+	if c.adaptReadBits != nil {
+		every := c.Targets[0].Ctl.Cfg.Adaptive.ObserveEvery
+		secs := float64(every) / 1e9
+		arrivalEnd := tr.Duration()
+		lastR := make([]float64, len(c.Targets))
+		lastW := make([]float64, len(c.Targets))
+		stopObserve = c.Eng.Ticker(every, func() {
+			now := c.Eng.Now()
+			if now >= arrivalEnd || c.completed+c.failed >= c.total {
+				// The arrival span has ended (or every request is already
+				// accounted): the remaining drain carries no signal about
+				// system health — throughput winds down to zero and
+				// telemetry goes legitimately silent as the finite trace
+				// runs out, which is exactly the signature of degradation.
+				// Freeze the ladder instead of thrashing it against that
+				// phantom. This mirrors the measurement methodology: all
+				// summary metrics cover the (trimmed) arrival span too.
+				for _, tn := range c.Targets {
+					tn.Ctl.FreezeAdaptation()
+				}
+				return
+			}
+			for i, tn := range c.Targets {
+				dr := c.adaptReadBits[i] - lastR[i]
+				dw := c.adaptWriteBits[i] - lastW[i]
+				lastR[i], lastW[i] = c.adaptReadBits[i], c.adaptWriteBits[i]
+				tn.Ctl.Observe(now, dr/secs, dw/secs)
+			}
+		})
+	}
+
 	// Periodic progress line (stderr by convention). Pure reporting: it
 	// reads counters but never mutates sim state, so it cannot perturb
 	// determinism of the run itself.
@@ -226,6 +288,7 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		c.Eng.Run(horizon)
 	}
 	stopPause()
+	stopObserve()
 	stopProgress()
 	stopRecorder() // flushes one final sample at drain time
 	stopPublish()
@@ -319,12 +382,28 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	res.WriteLatencyP50Ms = stats.Percentile(writeLats, 50)
 	res.WriteLatencyP99Ms = stats.Percentile(writeLats, 99)
 
-	for _, t := range c.Targets {
+	for tIdx, t := range c.Targets {
 		res.TotalCNPs += t.T.Node.NIC.CNPsReceived
 		if t.Ctl != nil {
 			res.WeightEvents = append(res.WeightEvents, t.Ctl.Events...)
+			for _, lt := range t.Ctl.Ladder() {
+				res.Ladder = append(res.Ladder, LadderStep{
+					Target: tIdx, AtMs: lt.At.Millis(),
+					From: lt.From.String(), To: lt.To.String(), Reason: lt.Reason,
+				})
+			}
+			rt, pm, rj := t.Ctl.AdaptStats()
+			res.Retrains += rt
+			res.Promotions += pm
+			res.Rejections += rj
 		}
 	}
+	// Time order; targets appended in index order make the sort's ties
+	// deterministic under SliceStable.
+	sort.SliceStable(res.Ladder, func(i, j int) bool {
+		return res.Ladder[i].AtMs < res.Ladder[j].AtMs
+	})
+	res.AdaptRecovered, res.AdaptRecoverMs = ladderRecovery(res.Ladder)
 	res.TotalECNMarks = c.Net.ECNMarks
 	res.TotalPFCPauses = c.Net.PFCPauses
 
@@ -339,6 +418,40 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 		publish()
 	}
 	return res, nil
+}
+
+// ladderRecovery walks the merged ladder ledger and returns the run's
+// time-to-recover: the span from the first severe descent — ModelFree
+// or Static, the rungs where the model is out of the decision loop —
+// until the first moment every target that left Predictive is back on
+// it. Predictive↔Retraining churn alone is normal adaptive operation
+// (the model still steers) and does not start the clock. Later
+// re-descents do not erase a completed recovery — the metric answers
+// "how long did the first disruption take to absorb".
+func ladderRecovery(steps []LadderStep) (recovered bool, ms float64) {
+	severe := map[string]bool{
+		core.LadderModelFree.String(): true,
+		core.LadderStatic.String():    true,
+	}
+	non := make(map[int]bool)
+	var firstSevere float64
+	haveSevere := false
+	for _, st := range steps {
+		if st.To == core.LadderPredictive.String() {
+			delete(non, st.Target)
+			if haveSevere && len(non) == 0 && !recovered {
+				recovered = true
+				ms = st.AtMs - firstSevere
+			}
+			continue
+		}
+		non[st.Target] = true
+		if severe[st.To] && !haveSevere {
+			firstSevere = st.AtMs
+			haveSevere = true
+		}
+	}
+	return recovered, ms
 }
 
 // recorderProbe builds the cluster's pull-probe for the flight
@@ -465,6 +578,16 @@ type Summary struct {
 	ForcedPauses     uint64 `json:"forced_pauses,omitempty"`
 	LinkDowns        uint64 `json:"link_downs,omitempty"`
 
+	// Adaptive-ladder ledger, omitted entirely (empty/zero) when
+	// Spec.SRC.Adaptive is off so non-adaptive summaries keep their
+	// historical JSON shape byte-for-byte.
+	Ladder         []LadderStep `json:"ladder,omitempty"`
+	Retrains       uint64       `json:"adapt_retrains,omitempty"`
+	Promotions     uint64       `json:"adapt_promotions,omitempty"`
+	Rejections     uint64       `json:"adapt_rejections,omitempty"`
+	AdaptRecovered bool         `json:"adapt_recovered,omitempty"`
+	AdaptRecoverMs float64      `json:"adapt_recover_ms,omitempty"`
+
 	// Metrics is present only when the run had a registry attached, so
 	// uninstrumented runs keep their historical JSON shape byte-for-byte.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -504,6 +627,13 @@ func (r *Result) Summary() Summary {
 		WatchdogTrips:    r.WatchdogTrips,
 		ForcedPauses:     r.ForcedPauses,
 		LinkDowns:        r.LinkDowns,
+
+		Ladder:         r.Ladder,
+		Retrains:       r.Retrains,
+		Promotions:     r.Promotions,
+		Rejections:     r.Rejections,
+		AdaptRecovered: r.AdaptRecovered,
+		AdaptRecoverMs: r.AdaptRecoverMs,
 
 		Metrics: r.Metrics,
 	}

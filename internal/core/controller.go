@@ -42,6 +42,11 @@ type ControllerConfig struct {
 	// FallbackWeight is the static read:write weight ratio applied while
 	// degraded (default 1 — the fair round-robin baseline).
 	FallbackWeight int
+	// Adaptive arms online adaptation (in-run TPM retraining plus the
+	// Predictive→Retraining→ModelFree→Static degradation ladder; see
+	// adaptive.go). The zero value keeps the controller byte-identical
+	// to its pre-adaptive behaviour.
+	Adaptive AdaptiveConfig
 }
 
 // withDefaults fills unset fields.
@@ -66,6 +71,9 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	}
 	if c.FallbackWeight <= 0 {
 		c.FallbackWeight = 1
+	}
+	if c.Adaptive.Enabled {
+		c.Adaptive = c.Adaptive.withDefaults()
 	}
 	return c
 }
@@ -123,6 +131,10 @@ type Controller struct {
 	haveEvent   bool
 	degraded    bool
 
+	// adaptive holds the degradation ladder and in-run retraining state;
+	// nil unless Cfg.Adaptive.Enabled (see adaptive.go).
+	adaptive *adaptiveState
+
 	obs *ctlObs
 }
 
@@ -139,6 +151,14 @@ type ctlObs struct {
 	degradedEnters *obs.Counter
 	recoveries     *obs.Counter
 	degraded       *obs.Gauge
+
+	// Adaptive-only handles (nil unless the ladder is armed — keeping
+	// non-adaptive metric snapshots byte-identical to earlier builds).
+	ladderMoves *obs.Counter
+	ladderState *obs.Gauge
+	retrains    *obs.Counter
+	promotions  *obs.Counter
+	rejections  *obs.Counter
 }
 
 // Instrument attaches a metrics registry and/or trace scope to the
@@ -160,18 +180,29 @@ func (c *Controller) Instrument(reg *obs.Registry, sc *obs.Scope, name string, l
 		recoveries:     reg.Counter("core", "recoveries", labels...),
 		degraded:       reg.Gauge("core", "degraded", labels...),
 	}
+	if c.adaptive != nil {
+		c.obs.ladderMoves = reg.Counter("core", "ladder_transitions", labels...)
+		c.obs.ladderState = reg.Gauge("core", "ladder_state", labels...)
+		c.obs.retrains = reg.Counter("core", "retrains", labels...)
+		c.obs.promotions = reg.Counter("core", "retrain_promotions", labels...)
+		c.obs.rejections = reg.Counter("core", "retrain_rejections", labels...)
+	}
 }
 
 // NewController wires a controller around a trained TPM and a target's
 // SSQ (or SSQGroup for arrays).
 func NewController(cfg ControllerConfig, tpm *TPM, ssq WeightSink) *Controller {
 	cfg = cfg.withDefaults()
-	return &Controller{
+	c := &Controller{
 		Cfg:     cfg,
 		TPM:     tpm,
 		Monitor: NewMonitor(cfg.Window),
 		SSQ:     ssq,
 	}
+	if cfg.Adaptive.Enabled {
+		c.adaptive = newAdaptiveState(cfg.Adaptive)
+	}
+	return c
 }
 
 // PredictWeightRatio implements the paper's Alg. 1 "PredictWeightRatio":
@@ -242,6 +273,11 @@ func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
 	c.lastDemand = demandedBps
 	c.haveEvent = true
 
+	if c.adaptive != nil {
+		c.adaptiveRateEvent(at, demandedBps)
+		return
+	}
+
 	if c.Cfg.StaleAfter > 0 {
 		if last, ok := c.Monitor.LastRecordAt(); !ok || at-last > c.Cfg.StaleAfter {
 			// Telemetry stalled: the monitor window describes traffic
@@ -256,6 +292,13 @@ func (c *Controller) OnRateEvent(at sim.Time, demandedBps float64) {
 		}
 	}
 
+	c.tpmAdjust(at, demandedBps)
+}
+
+// tpmAdjust is the TPM-driven adjustment body (Alg. 1): profile the
+// preceding window, pick w, apply it. Shared by the legacy path and the
+// adaptive ladder's Predictive/Retraining rungs.
+func (c *Controller) tpmAdjust(at sim.Time, demandedBps float64) {
 	ch := c.Monitor.Snapshot(at)
 	w := c.PredictWeightRatio(demandedBps, ch)
 	pr, _ := c.predict(ch, float64(w))
@@ -323,6 +366,15 @@ func (c *Controller) SampleSeries(track string, emit timeseries.Emit) {
 	emit(track, "src_degraded", timeseries.Gauge, degraded)
 	emit(track, "src_adjustments", timeseries.Counter, float64(len(c.Events)))
 	emit(track, "src_demand_gbps", timeseries.Gauge, c.lastDemand/1e9)
+	if a := c.adaptive; a != nil {
+		// Adaptive-only series: emitted only when the ladder is armed so
+		// recorder output on non-adaptive runs is unchanged.
+		emit(track, "src_ladder_state", timeseries.Gauge, float64(a.state))
+		emit(track, "src_retrains", timeseries.Counter, float64(a.retrains))
+		emit(track, "src_promotions", timeseries.Counter, float64(a.promotions))
+		emit(track, "src_window_samples", timeseries.Gauge, float64(a.window.Len()))
+		emit(track, "src_pred_err_mean", timeseries.Gauge, a.errs.AggErr())
+	}
 }
 
 // CurrentWeightRatio returns the SSQ's active w.

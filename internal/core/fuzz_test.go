@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"srcsim/internal/ml"
+)
+
+// tinyTrainedTPM fits a deliberately small forest (2 trees, 8 samples)
+// so fuzz seeds stay compact while exercising the full Save format.
+func tinyTrainedTPM(tb testing.TB) *TPM {
+	tb.Helper()
+	tpm := &TPM{NewRegressor: func() ml.Regressor {
+		return &ml.RandomForestRegressor{Trees: 2, MaxFeatures: 4, Seed: 1}
+	}}
+	samples := make([]Sample, 0, 8)
+	for i := 0; i < 8; i++ {
+		ch := make([]float64, NumFeatures)
+		for j := range ch {
+			ch[j] = float64((i*NumFeatures+j)%7) + 0.5
+		}
+		samples = append(samples, Sample{
+			Ch: ch, W: float64(1 + i%4),
+			TputR: 1e9 + float64(i)*1e8,
+			TputW: 5e8 + float64(i)*1e7,
+		})
+	}
+	if err := tpm.Train(samples); err != nil {
+		tb.Fatal(err)
+	}
+	return tpm
+}
+
+// FuzzLoadTPM: LoadTPM must never panic or hand back an unusable model.
+// Every rejection must wrap ErrBadTPMFile; every accepted model must
+// Predict finite values (the decoder validates tree structure — child
+// indexes strictly preorder, split features inside the dimension,
+// finite thresholds/leaves — so nothing corrupt survives to Predict).
+func FuzzLoadTPM(f *testing.F) {
+	var buf bytes.Buffer
+	if err := tinyTrainedTPM(f).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)/2]) // truncated mid-forest
+	f.Add(valid[:8])            // truncated inside the gob header
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/3] ^= 0xff // single corrupt byte
+	f.Add(flip)
+	smear := append([]byte(nil), valid...)
+	for i := range smear {
+		if i%7 == 0 {
+			smear[i] ^= 0x55
+		}
+	}
+	f.Add(smear)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpm, err := LoadTPM(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTPMFile) {
+				t.Fatalf("LoadTPM error does not wrap ErrBadTPMFile: %v", err)
+			}
+			return
+		}
+		if !tpm.Trained() {
+			t.Fatal("LoadTPM returned an untrained model without error")
+		}
+		ch := make([]float64, NumFeatures)
+		for i := range ch {
+			ch[i] = 1
+		}
+		for _, w := range []float64{1, 2, 32} {
+			r, wr := tpm.Predict(ch, w)
+			if math.IsNaN(r) || math.IsInf(r, 0) || math.IsNaN(wr) || math.IsInf(wr, 0) {
+				t.Fatalf("accepted model predicts non-finite (%v, %v) at w=%v", r, wr, w)
+			}
+		}
+	})
+}
+
+// TestLoadTPMRejectsCorrupt pins the typed-error contract without
+// needing the fuzzer: truncations, garbage, and a dimension-mismatched
+// forest all return ErrBadTPMFile (no panics, no zero-value models).
+func TestLoadTPMRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyTrainedTPM(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"garbage":   []byte("garbage garbage garbage"),
+		"truncated": valid[:len(valid)-10],
+		"header":    valid[:6],
+	}
+	for name, data := range cases {
+		if _, err := LoadTPM(bytes.NewReader(data)); !errors.Is(err, ErrBadTPMFile) {
+			t.Errorf("%s: want ErrBadTPMFile, got %v", name, err)
+		}
+	}
+
+	// Round trip still works and predicts identically.
+	re, err := LoadTPM(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tinyTrainedTPM(t)
+	ch := make([]float64, NumFeatures)
+	for i := range ch {
+		ch[i] = 2
+	}
+	or, ow := orig.Predict(ch, 3)
+	rr, rw := re.Predict(ch, 3)
+	if or != rr || ow != rw {
+		t.Fatalf("round-trip prediction drift: (%v,%v) vs (%v,%v)", or, ow, rr, rw)
+	}
+}

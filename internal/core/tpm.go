@@ -146,20 +146,34 @@ func (t *TPM) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadTPM restores a TPM written by Save.
+// ErrBadTPMFile is wrapped by every LoadTPM failure, so callers can
+// distinguish a corrupt/truncated/mismatched model file (recoverable:
+// retrain or fall back) from I/O plumbing errors with errors.Is.
+var ErrBadTPMFile = errors.New("core: bad TPM file")
+
+// LoadTPM restores a TPM written by Save. Corrupt, truncated, or
+// dimension-mismatched input returns an error wrapping ErrBadTPMFile —
+// never a panic or a zero-value model (the forest decoder validates
+// tree structure, so a loaded model is always safe to Predict with).
 func LoadTPM(r io.Reader) (*TPM, error) {
 	var file tpmFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
-		return nil, fmt.Errorf("core: TPM decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %w", ErrBadTPMFile, err)
 	}
 	if file.Magic != tpmMagic {
-		return nil, fmt.Errorf("core: not a TPM file (magic %q)", file.Magic)
+		return nil, fmt.Errorf("%w: not a TPM file (magic %q)", ErrBadTPMFile, file.Magic)
 	}
 	if file.Features != NumFeatures {
-		return nil, fmt.Errorf("core: TPM file has %d features, this build expects %d", file.Features, NumFeatures)
+		return nil, fmt.Errorf("%w: has %d features, this build expects %d", ErrBadTPMFile, file.Features, NumFeatures)
 	}
 	if file.Read == nil || file.Write == nil {
-		return nil, fmt.Errorf("core: TPM file missing models")
+		return nil, fmt.Errorf("%w: missing models", ErrBadTPMFile)
+	}
+	// The models must accept this build's input vector [Ch..., w]; a
+	// dimension mismatch would otherwise panic on the first Predict.
+	if d := NumFeatures + 1; file.Read.Dim() != d || file.Write.Dim() != d {
+		return nil, fmt.Errorf("%w: model dimensions (%d, %d), want %d",
+			ErrBadTPMFile, file.Read.Dim(), file.Write.Dim(), d)
 	}
 	return &TPM{regR: file.Read, regW: file.Write, trained: true}, nil
 }

@@ -1,0 +1,120 @@
+package core
+
+// Sliding windows for the adaptive controller (see adaptive.go): a ring
+// of recent (Ch, w) → measured-throughput observations that in-run
+// retraining fits against, and a short ring of relative prediction
+// errors that drives the degradation-ladder transitions. Both are plain
+// fixed-capacity rings — no allocation after construction — so the
+// observation path stays cheap and deterministic.
+
+// SampleWindow is a fixed-capacity sliding window of TPM training
+// samples, oldest evicted first.
+type SampleWindow struct {
+	buf  []Sample
+	next int // overwrite position once the ring is full
+}
+
+// NewSampleWindow returns a window holding up to capacity samples.
+func NewSampleWindow(capacity int) *SampleWindow {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SampleWindow{buf: make([]Sample, 0, capacity)}
+}
+
+// Push records one observation, evicting the oldest when full.
+func (w *SampleWindow) Push(s Sample) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, s)
+		return
+	}
+	w.buf[w.next] = s
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// Len returns the number of samples currently held.
+func (w *SampleWindow) Len() int { return len(w.buf) }
+
+// Samples returns the window contents oldest-first. The slice is a
+// fresh copy; retraining may hold it across later pushes.
+func (w *SampleWindow) Samples() []Sample {
+	out := make([]Sample, 0, len(w.buf))
+	if len(w.buf) == cap(w.buf) {
+		out = append(out, w.buf[w.next:]...)
+		out = append(out, w.buf[:w.next]...)
+	} else {
+		out = append(out, w.buf...)
+	}
+	return out
+}
+
+// errRing is a fixed-capacity ring of (predicted, measured) throughput
+// pairs. The ladder reads the aggregate calibration error over the full
+// ring — |Σpred − Σmeas| / max(Σpred, Σmeas) — rather than a mean of
+// per-observation errors: bursty arrivals make single intervals swing
+// far from any steady-state prediction, but that noise is roughly
+// symmetric and cancels in the sums, while a genuinely miscalibrated
+// model (an aged device, an out-of-envelope workload) biases every
+// interval the same way and survives the aggregation.
+type errRing struct {
+	pred, meas []float64
+	next       int
+}
+
+func newErrRing(capacity int) *errRing {
+	if capacity <= 0 {
+		capacity = 6
+	}
+	return &errRing{
+		pred: make([]float64, 0, capacity),
+		meas: make([]float64, 0, capacity),
+	}
+}
+
+// Push records one (predicted, measured) observation pair.
+func (r *errRing) Push(pred, meas float64) {
+	if len(r.pred) < cap(r.pred) {
+		r.pred = append(r.pred, pred)
+		r.meas = append(r.meas, meas)
+		return
+	}
+	r.pred[r.next] = pred
+	r.meas[r.next] = meas
+	r.next = (r.next + 1) % len(r.pred)
+}
+
+// Full reports whether the ring holds capacity entries.
+func (r *errRing) Full() bool { return len(r.pred) == cap(r.pred) }
+
+// AggErr returns the aggregate relative calibration error over the
+// held window (0 when empty or when both sums are zero). Always in
+// [0, 1] for non-negative throughputs.
+func (r *errRing) AggErr() float64 {
+	var sp, sm float64
+	for i := range r.pred {
+		sp += r.pred[i]
+		sm += r.meas[i]
+	}
+	denom := sp
+	if sm > denom {
+		denom = sm
+	}
+	if denom <= 0 {
+		return 0
+	}
+	d := sp - sm
+	if d < 0 {
+		d = -d
+	}
+	return d / denom
+}
+
+// Reset empties the ring — on model promotion (the recorded pairs
+// scored the retired model) and on every ladder transition (each rung
+// should judge the new regime on fresh evidence, which also adds
+// fill-time hysteresis between consecutive transitions).
+func (r *errRing) Reset() {
+	r.pred = r.pred[:0]
+	r.meas = r.meas[:0]
+	r.next = 0
+}

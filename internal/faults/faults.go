@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -231,5 +232,83 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("%s: unknown kind", tag)
 		}
 	}
+	return s.validateOverlaps()
+}
+
+// windowedKinds are the fault kinds whose active windows on one
+// selector must not overlap: two simultaneous ssd-slow windows on the
+// same device (or two drop probabilities on one link) would silently
+// shadow each other — the second expiry restores the pre-fault state
+// while the first window is notionally still active.
+var windowedKinds = map[Kind]bool{
+	Drop: true, Corrupt: true, SSDSlow: true, TargetStall: true, TelemetryStall: true,
+}
+
+// validateOverlaps rejects overlapping contradictory windows of the
+// same kind on the same selector, naming both offending event indexes.
+func (s *Schedule) validateOverlaps() error {
+	type win struct {
+		idx int
+		at  sim.Time
+		dur sim.Time // 0 = persists forever
+	}
+	groups := make(map[string][]win)
+	for i, ev := range s.Events {
+		if !windowedKinds[ev.Kind] {
+			continue
+		}
+		key := string(ev.Kind) + "\x00" + ev.Where
+		groups[key] = append(groups[key], win{idx: i, at: ev.At, dur: ev.Duration})
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ws := groups[k]
+		sort.SliceStable(ws, func(i, j int) bool { return ws[i].at < ws[j].at })
+		for i := 1; i < len(ws); i++ {
+			prev, cur := ws[i-1], ws[i]
+			if prev.dur == 0 || cur.at < prev.at+prev.dur {
+				kind, where, _ := strings.Cut(k, "\x00")
+				return fmt.Errorf(
+					"faults: event %d (%s on %s at %d ns) overlaps event %d (active %d..%s ns): windows of one kind on one selector must not overlap",
+					cur.idx, kind, where, cur.at, prev.idx, prev.at, windowEnd(prev.at, prev.dur))
+			}
+		}
+	}
 	return nil
+}
+
+// windowEnd renders a window's end for error messages ("forever" for
+// persistent faults).
+func windowEnd(at, dur sim.Time) string {
+	if dur == 0 {
+		return "forever"
+	}
+	return strconv.FormatInt(int64(at+dur), 10)
+}
+
+// Repeat expands one windowed fault into count copies spaced period
+// apart, scaling Factor by factorStep each step (for ssd-slow aging
+// staircases; pass 1 or 0 to keep Factor constant). The period must
+// exceed the event's duration or the expansion would violate the
+// overlap rule Validate enforces.
+func Repeat(ev Event, count int, period sim.Time, factorStep float64) []Event {
+	if count < 1 {
+		count = 1
+	}
+	out := make([]Event, 0, count)
+	f := ev.Factor
+	for i := 0; i < count; i++ {
+		e := ev
+		e.At = ev.At + sim.Time(i)*period
+		e.Factor = f
+		out = append(out, e)
+		if factorStep > 0 {
+			f *= factorStep
+		}
+	}
+	return out
 }

@@ -126,6 +126,97 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// TestValidateOverlaps: two active windows of one windowed kind on one
+// selector must be rejected with both event indexes named; the same
+// windows on different selectors, different kinds, or back-to-back
+// (non-overlapping) are fine.
+func TestValidateOverlaps(t *testing.T) {
+	slow := func(at, dur sim.Time, where string) Event {
+		return Event{At: at, Kind: SSDSlow, Where: where, Duration: dur, Factor: 2}
+	}
+	bad := []struct {
+		name   string
+		events []Event
+	}{
+		{"plain overlap", []Event{slow(100, 50, "target:0"), slow(120, 50, "target:0")}},
+		{"contained", []Event{slow(100, 100, "target:0"), slow(120, 10, "target:0")}},
+		{"same instant", []Event{slow(100, 50, "target:0"), slow(100, 50, "target:0")}},
+		{"persistent then later", []Event{slow(100, 0, "target:0"), slow(500, 10, "target:0")}},
+		{"out of order in the list", []Event{slow(120, 50, "target:0"), slow(100, 50, "target:0")}},
+		{"drop overlap", []Event{
+			{At: 0, Kind: Drop, Where: "target:1", Duration: 100, Probability: 0.1},
+			{At: 50, Kind: Drop, Where: "target:1", Duration: 100, Probability: 0.2},
+		}},
+		{"telemetry overlap", []Event{
+			{At: 0, Kind: TelemetryStall, Where: "target:0", Duration: 100},
+			{At: 99, Kind: TelemetryStall, Where: "target:0", Duration: 100},
+		}},
+	}
+	for _, c := range bad {
+		s := &Schedule{Events: c.events}
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "event ") || !strings.Contains(err.Error(), "overlaps") {
+			t.Errorf("%s: error does not name the offending events: %v", c.name, err)
+		}
+	}
+	good := []struct {
+		name   string
+		events []Event
+	}{
+		{"back to back", []Event{slow(100, 50, "target:0"), slow(150, 50, "target:0")}},
+		{"different targets", []Event{slow(100, 50, "target:0"), slow(100, 50, "target:1")}},
+		{"different kinds", []Event{
+			slow(100, 50, "target:0"),
+			{At: 100, Kind: TargetStall, Where: "target:0", Duration: 50},
+		}},
+		{"flap is not windowed", []Event{
+			{At: 0, Kind: LinkFlap, Where: "target:0", Count: 3, Duration: 5, Period: 10},
+			{At: 2, Kind: LinkFlap, Where: "target:0", Count: 3, Duration: 5, Period: 10},
+		}},
+	}
+	for _, c := range good {
+		s := &Schedule{Events: c.events}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestRepeat: the aging-staircase helper spaces copies period apart
+// with a geometric factor ramp, and its output passes Validate when the
+// period clears the duration.
+func TestRepeat(t *testing.T) {
+	base := Event{At: 1000, Kind: SSDSlow, Where: "target:0", Duration: 400, Factor: 2}
+	evs := Repeat(base, 3, 500, 1.5)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	wantAt := []sim.Time{1000, 1500, 2000}
+	wantF := []float64{2, 3, 4.5}
+	for i, ev := range evs {
+		if ev.At != wantAt[i] || ev.Factor != wantF[i] {
+			t.Errorf("step %d: at %d factor %g, want %d %g", i, ev.At, ev.Factor, wantAt[i], wantF[i])
+		}
+		if ev.Kind != SSDSlow || ev.Where != "target:0" || ev.Duration != 400 {
+			t.Errorf("step %d lost base fields: %+v", i, ev)
+		}
+	}
+	if err := (&Schedule{Events: evs}).Validate(); err != nil {
+		t.Fatalf("repeat schedule should validate: %v", err)
+	}
+	// Too-tight period: the expansion itself must be caught by Validate.
+	if err := (&Schedule{Events: Repeat(base, 2, 300, 1)}).Validate(); err == nil {
+		t.Fatal("overlapping repeat validated")
+	}
+	if got := Repeat(base, 0, 500, 1); len(got) != 1 {
+		t.Fatalf("count<1 should clamp to one event, got %d", len(got))
+	}
+}
+
 // TestInstallRangeChecks: selector indexes beyond the bound cluster and
 // kinds missing their binding must fail installation, not fire and
 // panic mid-run.

@@ -1,0 +1,117 @@
+package harness
+
+// Chaos-adaptation acceptance and determinism tests (ISSUE 7
+// satellites 3 and 6, harness side): each scenario's ladder must reach
+// ModelFree and recover to Predictive with a reported time-to-recover;
+// request accounting must close exactly across every ladder transition;
+// results must be byte-identical across reruns; and the retrain cache
+// must be semantically invisible (cold, warm, and cache-off runs all
+// byte-identical).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"srcsim/internal/cluster"
+	"srcsim/internal/core"
+	"srcsim/internal/sweep/cache"
+)
+
+// adaptScenarios enumerates the three chaos-adaptation experiments.
+var adaptScenarios = []struct {
+	name string
+	run  func(*core.TPM, int, uint64, ...func(*cluster.Spec)) (*AdaptResult, error)
+}{
+	{"adapt-aging", AdaptAging},
+	{"adapt-phase", AdaptPhase},
+	{"adapt-failover", AdaptFailover},
+}
+
+// TestAdaptScenarioVerdicts runs every scenario at full scale and
+// checks the headline acceptance criteria: the ladder descends at least
+// to ModelFree, recovers to Predictive with a positive time-to-recover,
+// the adaptive leg retains a sane fraction of the oracle's throughput,
+// and request accounting closes exactly.
+func TestAdaptScenarioVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale adaptation scenarios; skipped with -short")
+	}
+	tpm, _ := testTPMs(t)
+	for _, sc := range adaptScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			res, err := sc.run(tpm, 600, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := res.Adaptive.Summary
+			if !res.ReachedModelFree {
+				t.Errorf("ladder never reached ModelFree:\n%s", ladderDump(sum))
+			}
+			if !res.Recovered || res.TimeToRecoverMs <= 0 {
+				t.Errorf("no recovery to Predictive (recovered=%v, ttr=%.2f ms):\n%s",
+					res.Recovered, res.TimeToRecoverMs, ladderDump(sum))
+			}
+			if res.RetainedPct < 40 || res.RetainedPct > 120 {
+				t.Errorf("retained %.1f%% of oracle throughput — outside any plausible band", res.RetainedPct)
+			}
+			if got := sum.Completed + sum.Failed; got != sum.Submitted {
+				t.Errorf("accounting leak: completed %d + failed %d = %d, submitted %d",
+					sum.Completed, sum.Failed, got, sum.Submitted)
+			}
+			if oracle := res.Oracle.Summary; oracle.Completed != oracle.Submitted {
+				t.Errorf("oracle leg dropped requests: %d/%d", oracle.Completed, oracle.Submitted)
+			}
+		})
+	}
+}
+
+// ladderDump renders a transition timeline for failure messages.
+func ladderDump(s cluster.Summary) string {
+	var b strings.Builder
+	for _, st := range s.Ladder {
+		fmt.Fprintf(&b, "%8.2fms t%d %s -> %s (%s)\n", st.AtMs, st.Target, st.From, st.To, st.Reason)
+	}
+	return b.String()
+}
+
+// TestAdaptDeterminismAndCacheIdentity: the failover scenario at
+// reduced scale three ways — no retrain cache, cold cache, warm cache
+// (same directory re-used) — must produce byte-identical JSON. The
+// cache key covers every training input, so a hit is byte-equivalent to
+// a fit and the cache can never change results.
+func TestAdaptDeterminismAndCacheIdentity(t *testing.T) {
+	tpm, _ := testTPMs(t)
+	dir := t.TempDir()
+	legs := []struct {
+		name string
+		c    *cache.Cache
+	}{
+		{"nocache-a", nil},
+		{"nocache-b", nil},
+		{"cache-cold", cache.New(dir)},
+		{"cache-warm", cache.New(dir)},
+	}
+	var ref []byte
+	for _, leg := range legs {
+		mod := func(s *cluster.Spec) { s.SRC.Adaptive.Cache = leg.c }
+		res, err := AdaptFailover(tpm, 200, 7, mod)
+		if err != nil {
+			t.Fatalf("%s: %v", leg.name, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", leg.name, err)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Errorf("%s diverged from %s:\nref: %s\ngot: %s", leg.name, legs[0].name, clip(ref), clip(b))
+		}
+	}
+}

@@ -151,6 +151,28 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM, record bool) map[string]
 	}
 	put("chaos", digestRun(resC))
 
+	// Adaptive legs: the failover scenario exercises the whole ladder —
+	// Static via telemetry staleness, the AIMD rung, retraining-driven
+	// recovery — plus the oracle leg, under faults and retries. The
+	// second leg pushes RetrainEvery past any horizon, pinning the model
+	// at its seed configuration: adaptation must stay byte-deterministic
+	// with retraining effectively disabled, and the leg must itself be
+	// reproducible across the matrix.
+	resA, err := AdaptFailover(tpmCong, 200, 7, mods...)
+	if err != nil {
+		t.Fatalf("adapt-failover: %v", err)
+	}
+	put("adapt-failover", resA)
+
+	noRetrain := append(append([]func(*cluster.Spec){}, mods...), func(s *cluster.Spec) {
+		s.SRC.Adaptive.RetrainEvery = 3600 * sim.Second
+	})
+	resA0, err := AdaptFailover(tpmCong, 200, 7, noRetrain...)
+	if err != nil {
+		t.Fatalf("adapt-failover-noretrain: %v", err)
+	}
+	put("adapt-failover-noretrain", resA0)
+
 	trh, err := VDITrace(7, 150)
 	if err != nil {
 		t.Fatalf("hang trace: %v", err)

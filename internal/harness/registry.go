@@ -496,6 +496,48 @@ func init() {
 		},
 	})
 
+	// The three chaos-adaptation scenarios share a parameterization, a
+	// renderer, and the DCQCN-SRC congestion testbed; only the disruption
+	// differs.
+	for _, sc := range []struct {
+		name, title string
+		run         func(*core.TPM, int, uint64, ...func(*cluster.Spec)) (*AdaptResult, error)
+	}{
+		{"adapt-aging", "adaptive SRC vs stepped SSD aging (ladder descent + recovery)", AdaptAging},
+		{"adapt-phase", "adaptive SRC vs MMPP workload phase switch (in-run retraining)", AdaptPhase},
+		{"adapt-failover", "adaptive SRC vs mid-run link failover (Static rung + AIMD)", AdaptFailover},
+	} {
+		sc := sc
+		register(&Experiment{
+			Name:  sc.name,
+			Title: sc.title,
+			TPM:   TPMCongestion,
+			Params: []Param{
+				{Name: "requests", Default: "600", Help: "write-request count (reads get 2x)"},
+				{Name: "seed", Default: "7", Help: "workload seed"},
+			},
+			Run: func(env *Env, p Params) (*Output, error) {
+				requests, err := p.Int("requests")
+				if err != nil {
+					return nil, err
+				}
+				seed, err := p.Uint64("seed")
+				if err != nil {
+					return nil, err
+				}
+				tpm, err := env.tpm(TPMCongestion)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sc.run(tpm, requests, seed, env.Mods...)
+				if err != nil {
+					return nil, err
+				}
+				return &Output{Text: render(func(w io.Writer) { FprintAdapt(w, res) }), Data: res}, nil
+			},
+		})
+	}
+
 	register(&Experiment{
 		Name:  "replay",
 		Title: "replay a trace file under both modes on the Sec. IV-D testbed",

@@ -9,7 +9,8 @@ import (
 // TestRegistryListing asserts the registry enumerates every experiment
 // the front-ends expose, in stable listing order.
 func TestRegistryListing(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig7", "fig9", "fig10", "table4", "chaos-soak", "replay"}
+	want := []string{"fig2", "fig5", "fig7", "fig9", "fig10", "table4", "chaos-soak",
+		"adapt-aging", "adapt-phase", "adapt-failover", "replay"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)

@@ -107,6 +107,11 @@ func (f *RandomForestRegressor) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
+// Dim returns the fitted input dimension (0 before Fit) — callers
+// loading persisted forests use it to reject dimension-mismatched
+// models before Predict's panic path can trigger.
+func (f *RandomForestRegressor) Dim() int { return f.d }
+
 // Predict implements Regressor: the mean of all tree predictions.
 func (f *RandomForestRegressor) Predict(x []float64) float64 {
 	if !f.fitted {

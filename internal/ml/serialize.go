@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Serialization uses flattened, exported DTOs so fitted tree ensembles
@@ -52,20 +53,35 @@ func (dto treeDTO) restore() (*DecisionTreeRegressor, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("ml: empty tree")
 	}
+	if dto.D <= 0 {
+		return nil, fmt.Errorf("ml: tree dimension %d", dto.D)
+	}
 	if len(dto.Threshold) != n || len(dto.Left) != n || len(dto.Right) != n || len(dto.Value) != n {
 		return nil, fmt.Errorf("ml: ragged tree arrays")
 	}
 	nodes := make([]treeNode, n)
 	for i := 0; i < n; i++ {
+		if !finite(dto.Value[i]) {
+			return nil, fmt.Errorf("ml: node %d has non-finite value", i)
+		}
 		nodes[i] = treeNode{
 			feature:   int(dto.Feature[i]),
 			threshold: dto.Threshold[i],
 			value:     dto.Value[i],
 		}
 		if dto.Feature[i] >= 0 {
+			if int(dto.Feature[i]) >= dto.D {
+				return nil, fmt.Errorf("ml: node %d splits on feature %d, dimension %d", i, dto.Feature[i], dto.D)
+			}
+			if !finite(dto.Threshold[i]) {
+				return nil, fmt.Errorf("ml: node %d has non-finite threshold", i)
+			}
 			l, r := dto.Left[i], dto.Right[i]
-			if l < 0 || r < 0 || int(l) >= n || int(r) >= n {
-				return nil, fmt.Errorf("ml: tree child index out of range")
+			// flattenTree emits preorder, so a valid file always has
+			// children strictly after their parent; requiring l,r > i
+			// also makes cycles (which would hang Predict) impossible.
+			if int(l) <= i || int(r) <= i || int(l) >= n || int(r) >= n {
+				return nil, fmt.Errorf("ml: node %d child index out of range (%d, %d)", i, l, r)
 			}
 			nodes[i].left = &nodes[l]
 			nodes[i].right = &nodes[r]
@@ -81,6 +97,10 @@ func (dto treeDTO) restore() (*DecisionTreeRegressor, error) {
 	}
 	return t, nil
 }
+
+// finite rejects NaN and ±Inf — a fitted tree can never contain them,
+// so their presence in a file means corruption.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // forestDTO is the storable form of a fitted random forest.
 type forestDTO struct {
@@ -113,6 +133,9 @@ func (f *RandomForestRegressor) UnmarshalBinary(data []byte) error {
 	}
 	if len(dto.Trees) == 0 {
 		return fmt.Errorf("ml: forest with no trees")
+	}
+	if dto.D <= 0 {
+		return fmt.Errorf("ml: forest dimension %d", dto.D)
 	}
 	f.Trees = len(dto.Trees)
 	f.d = dto.D
