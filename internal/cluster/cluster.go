@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"srcsim/internal/core"
+	"srcsim/internal/ctrlplane"
 	"srcsim/internal/faults"
 	"srcsim/internal/guard"
 	"srcsim/internal/netsim"
@@ -81,6 +82,12 @@ type Spec struct {
 	// TPM must be a trained model when Mode is DCQCNSRC.
 	TPM *core.TPM
 	SRC core.ControllerConfig
+	// Ctrl, when Enabled and Mode is DCQCNSRC, routes SRC telemetry and
+	// weight directives through the in-band control plane (lossy delayed
+	// messaging, epoch-guarded directives, lease liveness, controller
+	// failover; see internal/ctrlplane). The zero value keeps the
+	// historical direct-call wiring byte-for-byte.
+	Ctrl ctrlplane.Config
 	// StaticWeight is the fixed write weight for SSQStatic (default 1).
 	StaticWeight int
 
@@ -253,8 +260,14 @@ type Cluster struct {
 	truncateReason string
 
 	// telemetryStalled gates the SRC monitor feed per target (the
-	// telemetry-stall fault).
+	// telemetry-stall fault). Both the direct path and the in-band
+	// control plane pass through this same gate (feedTelemetry), so
+	// stall faults and channel loss degrade the controller identically.
 	telemetryStalled []bool
+
+	// plane is the in-band control plane; nil unless Spec.Ctrl.Enabled
+	// with Mode DCQCNSRC.
+	plane *ctrlplane.Plane
 
 	// sc is the run's trace scope (nil when Spec.Trace is nil).
 	sc *obs.Scope
@@ -312,6 +325,10 @@ func New(spec Spec) (*Cluster, error) {
 	if spec.Mode == DCQCNSRC && spec.SRC.Adaptive.Enabled {
 		c.adaptReadBits = make([]float64, spec.Targets)
 		c.adaptWriteBits = make([]float64, spec.Targets)
+	}
+	if spec.Mode == DCQCNSRC && spec.Ctrl.Enabled {
+		c.plane = ctrlplane.New(eng, spec.Ctrl, spec.Targets, net.SwitchQueuedBytes)
+		c.plane.Instrument(spec.Metrics, modeL)
 	}
 
 	for i := 0; i < spec.Initiators; i++ {
@@ -420,19 +437,25 @@ func New(spec Spec) (*Cluster, error) {
 			for _, s := range tn.SSQs {
 				group = append(group, s)
 			}
-			ctl := core.NewController(srcCfg, spec.TPM, group)
-			ctl.Instrument(spec.Metrics, sc, fmt.Sprintf("t%d", tIdx), modeL)
-			tn.Ctl = ctl
 			target := tn.T
 			tIdx := tIdx
+			mk := func(sink core.WeightSink) *core.Controller {
+				ctl := core.NewController(srcCfg, spec.TPM, sink)
+				ctl.Instrument(spec.Metrics, sc, fmt.Sprintf("t%d", tIdx), modeL)
+				return ctl
+			}
+			if c.plane != nil {
+				// In-band: the controller drives a plane directive sink;
+				// the agent owns the real SSQ group.
+				tn.Ctl = c.plane.Register(tIdx, group, mk)
+			} else {
+				tn.Ctl = mk(group)
+			}
 			tn.T.OnCommandArrive = func(req trace.Request, at sim.Time) {
-				if c.telemetryStalled[tIdx] {
-					return
-				}
-				ctl.Monitor.Record(req, at)
+				c.feedTelemetry(tIdx, req, at)
 			}
 			tn.T.OnReadRate = func(_ *netsim.Flow, _, _ float64) {
-				ctl.OnRateEvent(eng.Now(), target.ReadSendRate())
+				c.feedRate(tIdx, target.ReadSendRate())
 			}
 		}
 		c.Targets = append(c.Targets, tn)
@@ -443,6 +466,9 @@ func New(spec Spec) (*Cluster, error) {
 			Eng: eng, Net: net,
 			Metrics: spec.Metrics, Scope: sc,
 			StallTelemetry: func(t int, stalled bool) { c.telemetryStalled[t] = stalled },
+		}
+		if c.plane != nil {
+			b.Ctrl = c.plane
 		}
 		b.Initiators = append(b.Initiators, hosts[:spec.Initiators]...)
 		for _, tn := range c.Targets {
@@ -456,4 +482,44 @@ func New(spec Spec) (*Cluster, error) {
 		c.Injector = inj
 	}
 	return c, nil
+}
+
+// feedTelemetry routes one monitored request to target t's SRC
+// controller: through the in-band control plane's publisher when one is
+// enabled, directly into the monitor otherwise. Both paths share the
+// telemetry-stall gate, so the telemetry-stall fault and in-band channel
+// loss starve the controller through the same staleness watchdog and
+// produce consistent Degraded() semantics.
+func (c *Cluster) feedTelemetry(t int, req trace.Request, at sim.Time) {
+	if c.telemetryStalled[t] {
+		return
+	}
+	if c.plane != nil {
+		c.plane.Publisher(t).Record(req, at)
+		return
+	}
+	c.Targets[t].Ctl.Monitor.Record(req, at)
+}
+
+// feedRate routes one demanded-rate event to target t's SRC controller
+// (in-band when the plane is enabled, direct otherwise). Rate events are
+// deliberately not gated by telemetryStalled, matching the historical
+// direct wiring: a stalled monitor feed still hears rate changes and
+// degrades via staleness, not silence.
+// activeCtl returns target t's currently live controller: the plane's
+// active incarnation when the control plane is on (nil while the
+// controller process is down), the fixed direct controller otherwise.
+func (c *Cluster) activeCtl(t int) *core.Controller {
+	if c.plane != nil {
+		return c.plane.Active(t)
+	}
+	return c.Targets[t].Ctl
+}
+
+func (c *Cluster) feedRate(t int, rate float64) {
+	if c.plane != nil {
+		c.plane.Publisher(t).RateEvent(rate)
+		return
+	}
+	c.Targets[t].Ctl.OnRateEvent(c.Eng.Now(), rate)
 }

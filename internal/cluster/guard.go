@@ -38,6 +38,11 @@ func (c *Cluster) AuditInvariants() []guard.Violation {
 func (c *Cluster) auditAll() []guard.Violation {
 	vs := c.AuditInvariants()
 	vs = append(vs, c.Net.AuditInvariants()...)
+	if c.plane != nil {
+		if pvs := c.plane.AuditInvariants(); len(pvs) > 0 {
+			vs = append(vs, guard.Tag(pvs, "ctrlplane")...)
+		}
+	}
 	// Tags are only formatted for non-empty violation lists: the guard
 	// polls this on every audit tick, and the clean path must not allocate.
 	for i, ini := range c.Initiators {

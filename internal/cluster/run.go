@@ -8,6 +8,7 @@ import (
 
 	"srcsim/internal/atomicio"
 	"srcsim/internal/core"
+	"srcsim/internal/ctrlplane"
 	"srcsim/internal/guard"
 	"srcsim/internal/obs"
 	"srcsim/internal/obs/timeseries"
@@ -98,6 +99,10 @@ type Result struct {
 	AdaptRecovered bool
 	AdaptRecoverMs float64
 
+	// Ctrl is the in-band control plane's message/liveness ledger; nil
+	// unless Spec.Ctrl was enabled.
+	Ctrl *ctrlplane.Ledger
+
 	// Metrics is the registry snapshot taken after the end-of-run flush;
 	// nil unless Spec.Metrics was set.
 	Metrics *obs.Snapshot
@@ -183,6 +188,14 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	// ledger exists before any submission fires.
 	unguard := c.installGuard()
 
+	// In-band control plane: telemetry flushes, heartbeats, lease checks
+	// and the standby watchdog run as ordinary engine tickers. Started
+	// before the first submission so leases are live from t=0.
+	stopPlane := func() {}
+	if c.plane != nil {
+		stopPlane = c.plane.Start()
+	}
+
 	// Flight recorder: read-only per-layer probes sampled on the sim
 	// clock, plus the registry sweep. Started before the first model
 	// event so the t=0 state is in the timeline.
@@ -243,16 +256,22 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 				// Freeze the ladder instead of thrashing it against that
 				// phantom. This mirrors the measurement methodology: all
 				// summary metrics cover the (trimmed) arrival span too.
-				for _, tn := range c.Targets {
-					tn.Ctl.FreezeAdaptation()
+				for i := range c.Targets {
+					if ctl := c.activeCtl(i); ctl != nil {
+						ctl.FreezeAdaptation()
+					}
 				}
 				return
 			}
-			for i, tn := range c.Targets {
+			for i := range c.Targets {
 				dr := c.adaptReadBits[i] - lastR[i]
 				dw := c.adaptWriteBits[i] - lastW[i]
 				lastR[i], lastW[i] = c.adaptReadBits[i], c.adaptWriteBits[i]
-				tn.Ctl.Observe(now, dr/secs, dw/secs)
+				// Observations address the live controller incarnation; none
+				// while the controller process is down (crash, pre-failover).
+				if ctl := c.activeCtl(i); ctl != nil {
+					ctl.Observe(now, dr/secs, dw/secs)
+				}
 			}
 		})
 	}
@@ -292,6 +311,7 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 	stopProgress()
 	stopRecorder() // flushes one final sample at drain time
 	stopPublish()
+	stopPlane()
 	unguard()
 	// Always audit once at drain: a leak that emerged after the last
 	// periodic check still fails the run.
@@ -384,19 +404,33 @@ func (c *Cluster) Run(tr *trace.Trace, assign Assign) (*Result, error) {
 
 	for tIdx, t := range c.Targets {
 		res.TotalCNPs += t.T.Node.NIC.CNPsReceived
-		if t.Ctl != nil {
-			res.WeightEvents = append(res.WeightEvents, t.Ctl.Events...)
-			for _, lt := range t.Ctl.Ladder() {
+		// Under the control plane a target may have seen several controller
+		// incarnations (failover/restart re-seed fresh ones); merge every
+		// incarnation's ledgers in succession order.
+		ctls := []*core.Controller{t.Ctl}
+		if c.plane != nil {
+			ctls = c.plane.Controllers(tIdx)
+		}
+		for _, ctl := range ctls {
+			if ctl == nil {
+				continue
+			}
+			res.WeightEvents = append(res.WeightEvents, ctl.Events...)
+			for _, lt := range ctl.Ladder() {
 				res.Ladder = append(res.Ladder, LadderStep{
 					Target: tIdx, AtMs: lt.At.Millis(),
 					From: lt.From.String(), To: lt.To.String(), Reason: lt.Reason,
 				})
 			}
-			rt, pm, rj := t.Ctl.AdaptStats()
+			rt, pm, rj := ctl.AdaptStats()
 			res.Retrains += rt
 			res.Promotions += pm
 			res.Rejections += rj
 		}
+	}
+	if c.plane != nil {
+		led := c.plane.LedgerSnapshot()
+		res.Ctrl = &led
 	}
 	// Time order; targets appended in index order make the sort's ties
 	// deterministic under SliceStable.
@@ -470,8 +504,12 @@ func (c *Cluster) recorderProbe() timeseries.Sampler {
 	for i := range c.Initiators {
 		iniTracks[i] = fmt.Sprintf("%s/i%d", mode, i)
 	}
+	ctrlTrack := mode + "/ctrl"
 	return func(now sim.Time, emit timeseries.Emit) {
 		c.Net.SampleSeries(netTrack, emit)
+		if c.plane != nil {
+			c.plane.SampleSeries(now, ctrlTrack, emit)
+		}
 		for i, tn := range c.Targets {
 			tn.T.SampleSeries(tgtTracks[i], emit)
 			if tn.Ctl != nil {
@@ -588,6 +626,11 @@ type Summary struct {
 	AdaptRecovered bool         `json:"adapt_recovered,omitempty"`
 	AdaptRecoverMs float64      `json:"adapt_recover_ms,omitempty"`
 
+	// Ctrl is the in-band control plane's ledger, omitted entirely when
+	// Spec.Ctrl is off so plane-less summaries keep their historical JSON
+	// shape byte-for-byte.
+	Ctrl *ctrlplane.Ledger `json:"ctrl,omitempty"`
+
 	// Metrics is present only when the run had a registry attached, so
 	// uninstrumented runs keep their historical JSON shape byte-for-byte.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -634,6 +677,8 @@ func (r *Result) Summary() Summary {
 		Rejections:     r.Rejections,
 		AdaptRecovered: r.AdaptRecovered,
 		AdaptRecoverMs: r.AdaptRecoverMs,
+
+		Ctrl: r.Ctrl,
 
 		Metrics: r.Metrics,
 	}

@@ -1,0 +1,108 @@
+package faults
+
+import (
+	"fmt"
+)
+
+// CtrlPlane is the handle the ctrl-* and controller-crash kinds act on.
+// internal/ctrlplane implements it; the indirection keeps this package
+// free of a dependency on the plane's internals.
+type CtrlPlane interface {
+	// Targets returns the number of agent slots ("target:N" range).
+	Targets() int
+	// SetLoss adds (or, at 0, clears) an extra message-drop probability
+	// on target t's control channel.
+	SetLoss(t int, prob float64)
+	// SetDelayFactor scales target t's control-channel base delay.
+	SetDelayFactor(t int, f float64)
+	// SetPartition cuts or restores target t's control channel.
+	SetPartition(t int, on bool)
+	// Crash kills the primary controller; Restart revives it (fenced if
+	// a standby took over meanwhile).
+	Crash()
+	Restart()
+}
+
+// ctrlKinds are the fault kinds installCtrl handles.
+func ctrlKind(k Kind) bool {
+	switch k {
+	case CtrlDrop, CtrlDelay, CtrlPartition, ControllerCrash:
+		return true
+	}
+	return false
+}
+
+// installCtrl pre-schedules one control-plane fault. The schedule has
+// already passed Validate, so selectors parse and parameters are in
+// range; what remains is binding resolution (a plane must be attached,
+// and target indexes must exist on it).
+func (inj *Injector) installCtrl(ev Event, b Binding) error {
+	if b.Ctrl == nil {
+		return fmt.Errorf("%q: no control plane bound (enable Spec.Ctrl for ctrl-* faults)", ev.Where)
+	}
+	if b.Eng == nil {
+		return fmt.Errorf("binding has no engine")
+	}
+	role, idx, err := parseWhere(ev.Where)
+	if err != nil {
+		return err
+	}
+	if role == roleTarget && idx >= b.Ctrl.Targets() {
+		return fmt.Errorf("%q: index %d out of range (have %d)", ev.Where, idx, b.Ctrl.Targets())
+	}
+	switch ev.Kind {
+	case CtrlDrop:
+		b.Eng.Schedule(ev.At, func() {
+			b.Ctrl.SetLoss(idx, ev.Probability)
+			inj.fired(ev.At, ev, fmt.Sprintf("p=%g", ev.Probability))
+		})
+		if ev.Duration > 0 {
+			at := ev.At + ev.Duration
+			b.Eng.Schedule(at, func() {
+				b.Ctrl.SetLoss(idx, 0)
+				inj.fired(at, ev, "clear")
+			})
+		}
+
+	case CtrlDelay:
+		b.Eng.Schedule(ev.At, func() {
+			b.Ctrl.SetDelayFactor(idx, ev.Factor)
+			inj.fired(ev.At, ev, fmt.Sprintf("x%g", ev.Factor))
+		})
+		if ev.Duration > 0 {
+			at := ev.At + ev.Duration
+			b.Eng.Schedule(at, func() {
+				b.Ctrl.SetDelayFactor(idx, 1)
+				inj.fired(at, ev, "clear")
+			})
+		}
+
+	case CtrlPartition:
+		b.Eng.Schedule(ev.At, func() {
+			b.Ctrl.SetPartition(idx, true)
+			inj.fired(ev.At, ev, "start")
+		})
+		at := ev.At + ev.Duration
+		b.Eng.Schedule(at, func() {
+			b.Ctrl.SetPartition(idx, false)
+			inj.fired(at, ev, "heal")
+		})
+
+	case ControllerCrash:
+		b.Eng.Schedule(ev.At, func() {
+			b.Ctrl.Crash()
+			inj.fired(ev.At, ev, "crash")
+		})
+		if ev.Duration > 0 {
+			at := ev.At + ev.Duration
+			b.Eng.Schedule(at, func() {
+				b.Ctrl.Restart()
+				inj.fired(at, ev, "restart")
+			})
+		}
+
+	default:
+		return fmt.Errorf("unknown control-plane kind %q", ev.Kind)
+	}
+	return nil
+}

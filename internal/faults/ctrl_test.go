@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"srcsim/internal/sim"
+)
+
+// TestValidateCtrlKinds: parameter/selector rules for the
+// control-plane fault kinds — the ctrl-* kinds stay in the target
+// namespace, controller-crash owns the controller namespace.
+func TestValidateCtrlKinds(t *testing.T) {
+	bad := []struct {
+		name string
+		ev   Event
+	}{
+		{"ctrl-drop probability zero", Event{Kind: CtrlDrop, Where: "target:0"}},
+		{"ctrl-drop probability > 1", Event{Kind: CtrlDrop, Where: "target:0", Probability: 1.5}},
+		{"ctrl-drop on initiator", Event{Kind: CtrlDrop, Where: "initiator:0", Probability: 0.5}},
+		{"ctrl-drop on controller", Event{Kind: CtrlDrop, Where: "controller:0", Probability: 0.5}},
+		{"ctrl-delay factor < 1", Event{Kind: CtrlDelay, Where: "target:0", Factor: 0.5}},
+		{"ctrl-delay on initiator", Event{Kind: CtrlDelay, Where: "initiator:0", Factor: 2}},
+		{"ctrl-partition no duration", Event{Kind: CtrlPartition, Where: "target:0"}},
+		{"ctrl-partition on controller", Event{Kind: CtrlPartition, Where: "controller:0", Duration: 1}},
+		{"crash on target", Event{Kind: ControllerCrash, Where: "target:0"}},
+		{"crash on controller:1", Event{Kind: ControllerCrash, Where: "controller:1"}},
+		{"non-crash kind on controller", Event{Kind: LinkDown, Where: "controller:0"}},
+	}
+	for _, c := range bad {
+		s := &Schedule{Events: []Event{c.ev}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+
+	good := &Schedule{Events: []Event{
+		{At: 10, Kind: CtrlDrop, Where: "target:0", Duration: 50, Probability: 0.5},
+		{At: 10, Kind: CtrlDelay, Where: "target:1", Duration: 50, Factor: 8},
+		{At: 70, Kind: CtrlPartition, Where: "target:0", Duration: 20},
+		{At: 10, Kind: ControllerCrash, Where: "controller:0", Duration: 40},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good ctrl schedule rejected: %v", err)
+	}
+
+	// The new kinds are windowed: overlapping windows on one selector
+	// must be rejected like any other contradictory pair.
+	overlap := &Schedule{Events: []Event{
+		{At: 10, Kind: CtrlDrop, Where: "target:0", Duration: 50, Probability: 0.5},
+		{At: 30, Kind: CtrlDrop, Where: "target:0", Duration: 50, Probability: 0.9},
+	}}
+	err := overlap.Validate()
+	if err == nil {
+		t.Fatal("overlapping ctrl-drop windows validated")
+	}
+	if !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlap error unhelpful: %v", err)
+	}
+}
+
+// fakePlane records the fault hooks Install's scheduled events invoke.
+type fakePlane struct {
+	targets   int
+	loss      map[int]float64
+	delay     map[int]float64
+	partition map[int]bool
+	crashes   int
+	restarts  int
+}
+
+func newFakePlane(targets int) *fakePlane {
+	return &fakePlane{
+		targets: targets,
+		loss:    map[int]float64{}, delay: map[int]float64{}, partition: map[int]bool{},
+	}
+}
+
+func (f *fakePlane) Targets() int                    { return f.targets }
+func (f *fakePlane) SetLoss(t int, p float64)        { f.loss[t] = p }
+func (f *fakePlane) SetDelayFactor(t int, x float64) { f.delay[t] = x }
+func (f *fakePlane) SetPartition(t int, on bool)     { f.partition[t] = on }
+func (f *fakePlane) Crash()                          { f.crashes++ }
+func (f *fakePlane) Restart()                        { f.restarts++ }
+
+// TestInstallCtrlKinds: the four control-plane kinds resolve against
+// the bound plane (never the host lists), fire with windowed
+// apply/clear semantics, and fail installation when no plane is bound
+// or the target index exceeds the plane.
+func TestInstallCtrlKinds(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{At: 10, Kind: CtrlDrop, Where: "target:0", Duration: 50, Probability: 0.5},
+		{At: 10, Kind: CtrlDelay, Where: "target:1", Duration: 50, Factor: 8},
+		{At: 70, Kind: CtrlPartition, Where: "target:0", Duration: 20},
+		{At: 100, Kind: ControllerCrash, Where: "controller:0", Duration: 40},
+	}}
+
+	// No plane bound: installation must fail, not panic mid-run. Note
+	// the binding has no host lists at all — ctrl kinds never resolve
+	// against them.
+	eng := sim.NewEngine()
+	if _, err := Install(sched, Binding{Eng: eng}); err == nil {
+		t.Fatal("installed ctrl faults with no plane bound")
+	}
+
+	fp := newFakePlane(2)
+	inj, err := Install(sched, Binding{Eng: eng, Ctrl: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Run(30)
+	if fp.loss[0] != 0.5 || fp.delay[1] != 8 {
+		t.Fatalf("mid-window: loss=%v delay=%v", fp.loss, fp.delay)
+	}
+	eng.Run(65)
+	if fp.loss[0] != 0 || fp.delay[1] != 1 {
+		t.Fatalf("after windows: loss=%v delay=%v", fp.loss, fp.delay)
+	}
+	eng.Run(80)
+	if !fp.partition[0] {
+		t.Fatal("partition not applied")
+	}
+	eng.Run(95)
+	if fp.partition[0] {
+		t.Fatal("partition not healed")
+	}
+	eng.Run(120)
+	if fp.crashes != 1 || fp.restarts != 0 {
+		t.Fatalf("mid-crash: crashes=%d restarts=%d", fp.crashes, fp.restarts)
+	}
+	eng.RunUntilIdle()
+	if fp.restarts != 1 {
+		t.Fatalf("restarts=%d, want 1", fp.restarts)
+	}
+	// 4 applies + 4 clears (drop, delay, partition heal, restart).
+	if inj.Injected != 8 {
+		t.Fatalf("Injected = %d, want 8", inj.Injected)
+	}
+
+	// Index beyond the plane's agent count.
+	oob := &Schedule{Events: []Event{
+		{At: 10, Kind: CtrlDrop, Where: "target:7", Probability: 0.5},
+	}}
+	if _, err := Install(oob, Binding{Eng: sim.NewEngine(), Ctrl: newFakePlane(2)}); err == nil {
+		t.Fatal("out-of-range ctrl target installed")
+	}
+}

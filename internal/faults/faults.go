@@ -58,6 +58,21 @@ const (
 	// repeating Count times every Period when Count > 1 — the pause
 	// storm the PFC watchdog exists to break.
 	PFCStorm Kind = "pfc-storm"
+	// CtrlDrop adds a per-message drop probability on the target's
+	// in-band control channel (telemetry, directives, acks, and
+	// heartbeats alike); Duration bounds it. Requires the control plane.
+	CtrlDrop Kind = "ctrl-drop"
+	// CtrlDelay multiplies the control channel's base delay for the
+	// target by Factor; Duration bounds it.
+	CtrlDelay Kind = "ctrl-delay"
+	// CtrlPartition cuts the target's control channel in both
+	// directions for Duration (messages already in flight still land).
+	CtrlPartition Kind = "ctrl-partition"
+	// ControllerCrash kills the SRC controller process (Where is
+	// "controller:0" — one controller domain per cluster). With
+	// Duration set the primary restarts; if a standby took over
+	// meanwhile, the restarted primary comes back fenced.
+	ControllerCrash Kind = "controller-crash"
 )
 
 // Event is one scheduled fault. Times and durations are nanoseconds of
@@ -149,13 +164,14 @@ type hostRole int
 const (
 	roleInitiator hostRole = iota
 	roleTarget
+	roleController
 )
 
-// parseWhere splits "initiator:N" / "target:N".
+// parseWhere splits "initiator:N" / "target:N" / "controller:N".
 func parseWhere(where string) (hostRole, int, error) {
 	role, idxStr, ok := strings.Cut(where, ":")
 	if !ok {
-		return 0, 0, fmt.Errorf("faults: where %q: want \"initiator:N\" or \"target:N\"", where)
+		return 0, 0, fmt.Errorf("faults: where %q: want \"initiator:N\", \"target:N\", or \"controller:N\"", where)
 	}
 	idx, err := strconv.Atoi(idxStr)
 	if err != nil || idx < 0 {
@@ -166,6 +182,8 @@ func parseWhere(where string) (hostRole, int, error) {
 		return roleInitiator, idx, nil
 	case "target":
 		return roleTarget, idx, nil
+	case "controller":
+		return roleController, idx, nil
 	default:
 		return 0, 0, fmt.Errorf("faults: where %q: unknown role %q", where, role)
 	}
@@ -186,9 +204,16 @@ func (s *Schedule) Validate() error {
 		if ev.Duration < 0 || ev.Period < 0 {
 			return fmt.Errorf("%s: negative duration/period", tag)
 		}
-		role, _, err := parseWhere(ev.Where)
+		role, idx, err := parseWhere(ev.Where)
 		if err != nil {
 			return fmt.Errorf("%s: %w", tag, err)
+		}
+		// The controller selector namespace belongs to exactly one kind.
+		if (role == roleController) != (ev.Kind == ControllerCrash) {
+			if role == roleController {
+				return fmt.Errorf("%s: %q: only controller-crash targets the controller", tag, ev.Where)
+			}
+			return fmt.Errorf("%s: %q must name the controller (\"controller:0\")", tag, ev.Where)
 		}
 		switch ev.Kind {
 		case LinkDown, LinkUp:
@@ -228,6 +253,31 @@ func (s *Schedule) Validate() error {
 			if ev.Count > 1 && ev.Period <= 0 {
 				return fmt.Errorf("%s: repetition needs a positive period_ns", tag)
 			}
+		case CtrlDrop:
+			if ev.Probability <= 0 || ev.Probability > 1 {
+				return fmt.Errorf("%s: probability %g outside (0,1]", tag, ev.Probability)
+			}
+			if role != roleTarget {
+				return fmt.Errorf("%s: %q must name a target", tag, ev.Where)
+			}
+		case CtrlDelay:
+			if ev.Factor < 1 {
+				return fmt.Errorf("%s: factor %g, want >= 1", tag, ev.Factor)
+			}
+			if role != roleTarget {
+				return fmt.Errorf("%s: %q must name a target", tag, ev.Where)
+			}
+		case CtrlPartition:
+			if ev.Duration <= 0 {
+				return fmt.Errorf("%s: needs a positive duration_ns", tag)
+			}
+			if role != roleTarget {
+				return fmt.Errorf("%s: %q must name a target", tag, ev.Where)
+			}
+		case ControllerCrash:
+			if idx != 0 {
+				return fmt.Errorf("%s: %q: one controller domain per cluster, want \"controller:0\"", tag, ev.Where)
+			}
 		default:
 			return fmt.Errorf("%s: unknown kind", tag)
 		}
@@ -242,6 +292,7 @@ func (s *Schedule) Validate() error {
 // while the first window is notionally still active.
 var windowedKinds = map[Kind]bool{
 	Drop: true, Corrupt: true, SSDSlow: true, TargetStall: true, TelemetryStall: true,
+	CtrlDrop: true, CtrlDelay: true, CtrlPartition: true, ControllerCrash: true,
 }
 
 // validateOverlaps rejects overlapping contradictory windows of the

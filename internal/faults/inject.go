@@ -26,6 +26,9 @@ type Binding struct {
 	// StallTelemetry, if set, cuts (true) or restores (false) the SRC
 	// monitor feed of target i. Required for telemetry-stall events.
 	StallTelemetry func(target int, stalled bool)
+	// Ctrl is the in-band control plane, when one is enabled. Required
+	// for ctrl-drop/ctrl-delay/ctrl-partition/controller-crash events.
+	Ctrl CtrlPlane
 	// Metrics and Scope instrument injections; either may be nil.
 	Metrics *obs.Registry
 	Scope   *obs.Scope
@@ -109,6 +112,11 @@ func (inj *Injector) fired(at sim.Time, ev Event, detail string) {
 }
 
 func (inj *Injector) install(ev Event, b Binding, loss map[*netsim.Port]*lossState) error {
+	// Control-plane kinds act on the plane, not a fabric node; route them
+	// before host resolution ("controller:0" names no host).
+	if ctrlKind(ev.Kind) {
+		return inj.installCtrl(ev, b)
+	}
 	node, _, idx, err := b.node(ev.Where)
 	if err != nil {
 		return err

@@ -183,6 +183,17 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM, record bool) map[string]
 	}
 	put("hang-retry", digestRun(resH))
 
+	// In-band control-plane leg: the lossy/reordering control channel,
+	// a primary crash, and the standby takeover. The channel RNG is
+	// seeded, so the entire message schedule — drops, reorder jitter,
+	// retransmissions, the epoch ledger — must reproduce byte-for-byte
+	// across the matrix.
+	resCF, err := CtrlFailover(tpmCong, 150, 7, mods...)
+	if err != nil {
+		t.Fatalf("ctrl-failover: %v", err)
+	}
+	put("ctrl-failover", resCF)
+
 	return out
 }
 

@@ -539,6 +539,74 @@ func init() {
 	}
 
 	register(&Experiment{
+		Name:  "ctrl-degradation",
+		Title: "in-band control-channel loss x delay sweep (throughput retained)",
+		TPM:   TPMCongestion,
+		Params: []Param{
+			{Name: "requests", Default: "1200", Help: "write-request count (reads get 2x)"},
+			{Name: "seed", Default: "7", Help: "workload seed"},
+			{Name: "losses", Default: "0,0.5,0.99", Help: "comma-separated message-loss probabilities"},
+			{Name: "delays", Default: "1,32", Help: "comma-separated base-delay multipliers"},
+		},
+		Run: func(env *Env, p Params) (*Output, error) {
+			requests, err := p.Int("requests")
+			if err != nil {
+				return nil, err
+			}
+			seed, err := p.Uint64("seed")
+			if err != nil {
+				return nil, err
+			}
+			losses, err := parseFloats("losses", p["losses"])
+			if err != nil {
+				return nil, err
+			}
+			delays, err := parseFloats("delays", p["delays"])
+			if err != nil {
+				return nil, err
+			}
+			tpm, err := env.tpm(TPMCongestion)
+			if err != nil {
+				return nil, err
+			}
+			res, err := CtrlDegradation(tpm, requests, seed, losses, delays, env.Mods...)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Text: render(func(w io.Writer) { FprintCtrlDegradation(w, res) }), Data: res}, nil
+		},
+	})
+
+	register(&Experiment{
+		Name:  "ctrl-failover",
+		Title: "controller crash + standby takeover (epoch arc, time-to-reconverge)",
+		TPM:   TPMCongestion,
+		Params: []Param{
+			{Name: "requests", Default: "600", Help: "write-request count (reads get 2x)"},
+			{Name: "seed", Default: "7", Help: "workload seed"},
+		},
+		Run: func(env *Env, p Params) (*Output, error) {
+			requests, err := p.Int("requests")
+			if err != nil {
+				return nil, err
+			}
+			seed, err := p.Uint64("seed")
+			if err != nil {
+				return nil, err
+			}
+			tpm, err := env.tpm(TPMCongestion)
+			if err != nil {
+				return nil, err
+			}
+			res, err := CtrlFailover(tpm, requests, seed, env.Mods...)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Text: render(func(w io.Writer) { FprintCtrlFailover(w, res) }), Data: res}, nil
+		},
+	})
+
+	register(&Experiment{
 		Name:  "replay",
 		Title: "replay a trace file under both modes on the Sec. IV-D testbed",
 		TPM:   TPMCongestion,

@@ -10,7 +10,8 @@ import (
 // the front-ends expose, in stable listing order.
 func TestRegistryListing(t *testing.T) {
 	want := []string{"fig2", "fig5", "fig7", "fig9", "fig10", "table4", "chaos-soak",
-		"adapt-aging", "adapt-phase", "adapt-failover", "replay"}
+		"adapt-aging", "adapt-phase", "adapt-failover",
+		"ctrl-degradation", "ctrl-failover", "replay"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)

@@ -7,6 +7,22 @@ import (
 	"srcsim/internal/obs/timeseries"
 )
 
+// SwitchQueuedBytes returns the total bytes queued at switch egress
+// ports — the fabric-load probe behind the control plane's
+// congestion-coupled message delay.
+func (n *Network) SwitchQueuedBytes() int64 {
+	var total int64
+	for _, node := range n.nodes {
+		if !node.IsSwitch {
+			continue
+		}
+		for _, p := range node.ports {
+			total += p.QueueBytes
+		}
+	}
+	return total
+}
+
 // SampleSeries is the fabric's flight-recorder probe: switch queue
 // occupancy, PFC pause state, the global congestion-signal counters,
 // and per-flow congestion-control state (rate, and for DCQCN target
