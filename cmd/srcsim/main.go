@@ -6,7 +6,9 @@
 // Usage:
 //
 //	srcsim -list                    (enumerate registered experiments)
-//	srcsim -experiment fig7 [-requests 2000] [-seed 7] [-train 1500]
+//	srcsim -list-cc                 (enumerate congestion-control schemes)
+//	srcsim -experiment fig7 [-requests 2000] [-seed 7] [-train 1500] [-cc hpcc]
+//	srcsim -experiment cc-matrix    (CC scheme x SRC on/off retention matrix)
 //	srcsim -experiment table4 [-seconds 0.08]
 //	srcsim -experiment fig10 [-seconds 0.06]
 //	srcsim -experiment fig2
@@ -81,6 +83,7 @@ import (
 	"srcsim/internal/faults"
 	"srcsim/internal/guard"
 	"srcsim/internal/harness"
+	"srcsim/internal/netsim"
 	"srcsim/internal/obs"
 	"srcsim/internal/obs/live"
 	"srcsim/internal/obs/timeseries"
@@ -126,6 +129,7 @@ func fail(err error) int {
 func run() int {
 	experiment := flag.String("experiment", "fig7", "registered experiment to run (see -list)")
 	list := flag.Bool("list", false, "list registered experiments with their parameters and exit")
+	listCC := flag.Bool("list-cc", false, "list registered congestion-control schemes and exit")
 	// requests/seconds/seed/cc reach experiments through the override
 	// overlay below (flag.Visit), not through direct reads.
 	flag.Int("requests", 2000, "write-request count for fig7/chaos-soak (reads get 2x)")
@@ -133,7 +137,7 @@ func run() int {
 	seed := flag.Uint64("seed", 7, "workload seed")
 	trainCount := flag.Int("train", 1500, "per-direction request count for TPM training runs")
 	replayFile := flag.String("replay", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
-	cc := flag.String("cc", "dcqcn", "congestion control: dcqcn | timely | none")
+	cc := flag.String("cc", "dcqcn", "congestion control: "+strings.Join(netsim.CCNames(), " | ")+" (see -list-cc)")
 	format := flag.String("format", "csv", "trace file format for -replay: csv (tracegen) | msr (MSR Cambridge / SNIA)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -replay runs")
 	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
@@ -154,6 +158,10 @@ func run() int {
 
 	if *list {
 		harness.FprintExperiments(os.Stdout)
+		return exitOK
+	}
+	if *listCC {
+		netsim.FprintCCSchemes(os.Stdout)
 		return exitOK
 	}
 

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCCMatrixSRCWins is the cc-matrix acceptance property: at the
+// congested Fig. 7 operating point, turning SRC on retains strictly
+// more aggregate throughput than SRC off for every registered scheme
+// in the default sweep — SRC's storage-side scheduling is transport-
+// agnostic, so the win must not depend on which CC generates the rate
+// events.
+func TestCCMatrixSRCWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five paired cluster simulations; skipped with -short")
+	}
+	tpmCong, _ := testTPMs(t)
+	schemes := []string{"dcqcn", "timely", "aimd", "hpcc", "pfc"}
+	res, err := CCMatrix(tpmCong, 1200, 7, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(schemes) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(schemes))
+	}
+	if res.MaxAggGbps <= 0 {
+		t.Fatalf("matrix max aggregate %v", res.MaxAggGbps)
+	}
+	for _, r := range res.Rows {
+		if r.SRCGbps <= r.BaselineGbps {
+			t.Errorf("%s: SRC-on %.3f Gbps does not beat SRC-off %.3f Gbps",
+				r.Scheme, r.SRCGbps, r.BaselineGbps)
+		}
+		if r.RetentionOn <= r.RetentionOff {
+			t.Errorf("%s: retention on %.3f <= off %.3f", r.Scheme, r.RetentionOn, r.RetentionOff)
+		}
+		if r.RetentionOn <= 0 || r.RetentionOn > 1 || r.RetentionOff <= 0 || r.RetentionOff > 1 {
+			t.Errorf("%s: retention outside (0,1]: off %.3f on %.3f",
+				r.Scheme, r.RetentionOff, r.RetentionOn)
+		}
+	}
+	text := render(func(w io.Writer) { FprintCCMatrix(w, res) })
+	for _, s := range schemes {
+		if !strings.Contains(text, s) {
+			t.Errorf("rendered table is missing scheme %s:\n%s", s, text)
+		}
+	}
+}
+
+// TestCCMatrixRejectsUnknownScheme: a typo in the schemes list fails
+// the run instead of silently sweeping a default.
+func TestCCMatrixRejectsUnknownScheme(t *testing.T) {
+	if _, err := CCMatrix(nil, 10, 1, []string{"bbr"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"srcsim/internal/core"
 	"srcsim/internal/devrun"
 	"srcsim/internal/ml"
+	"srcsim/internal/netsim"
 	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
@@ -114,6 +115,21 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM, record bool) map[string]
 		t.Fatalf("fig7: %v", err)
 	}
 	put("fig7", []cluster.Digest{digestRun(res7.Baseline), digestRun(res7.SRC)})
+
+	// Reduced-scale Fig. 7 under each newly registered CC scheme: the
+	// registry seam, the ECN-echo and INT ack plumbing, and pooling of
+	// INT-carrying packets must all stay byte-deterministic across the
+	// matrix.
+	for _, cc := range []struct {
+		name string
+		alg  netsim.CCAlg
+	}{{"fig7-aimd", netsim.CCAIMD}, {"fig7-hpcc", netsim.CCHPCC}, {"fig7-pfc", netsim.CCPFC}} {
+		resCC, err := Fig7ThroughputCC(tpmCong, 150, 7, cc.alg, mods...)
+		if err != nil {
+			t.Fatalf("%s: %v", cc.name, err)
+		}
+		put(cc.name, []cluster.Digest{digestRun(resCC.Baseline), digestRun(resCC.SRC)})
+	}
 
 	events := []RateEvent{
 		{At: 20 * sim.Millisecond, DemandGbps: 6},

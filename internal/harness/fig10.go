@@ -6,6 +6,7 @@ import (
 
 	"srcsim/internal/cluster"
 	"srcsim/internal/core"
+	"srcsim/internal/netsim"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 	"srcsim/internal/workload"
@@ -55,10 +56,19 @@ func Fig10Trace(level workload.IntensityLevel, seconds float64, seed uint64) *tr
 // empty so WRR cannot act) and a clear SRC write/aggregate win under
 // moderate and heavy load.
 func Fig10Intensity(tpm *core.TPM, seconds float64, seed uint64, mods ...func(*cluster.Spec)) ([]Fig10Row, error) {
+	return Fig10IntensityCC(tpm, seconds, seed, netsim.CCDCQCN, mods...)
+}
+
+// Fig10IntensityCC is Fig10Intensity under a chosen congestion-control
+// algorithm — like Fig7ThroughputCC, SRC consumes only rate events, so
+// the intensity sweep runs unchanged over any registered scheme.
+func Fig10IntensityCC(tpm *core.TPM, seconds float64, seed uint64, cc netsim.CCAlg, mods ...func(*cluster.Spec)) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, level := range []workload.IntensityLevel{workload.Light, workload.Moderate, workload.Heavy} {
 		tr := Fig10Trace(level, seconds, seed+uint64(level))
-		base, src, err := cluster.CompareModes(CongestionSpec(), tpm, tr, nil, mods...)
+		spec := CongestionSpec()
+		spec.Net.CC = cc
+		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, mods...)
 		if err != nil {
 			return nil, fmt.Errorf("harness: Fig10 %v: %w", level, err)
 		}

@@ -233,18 +233,17 @@ func FprintExperiments(w io.Writer) {
 	}
 }
 
-// ParseCC maps a congestion-control name to its algorithm.
+// ParseCC maps a congestion-control name to its algorithm through
+// netsim's CC registry, so a newly registered scheme is addressable
+// from every experiment's cc parameter without touching the harness.
 func ParseCC(name string) (netsim.CCAlg, error) {
-	switch name {
-	case "dcqcn":
-		return netsim.CCDCQCN, nil
-	case "timely":
-		return netsim.CCTIMELY, nil
-	case "none":
-		return netsim.CCNone, nil
-	default:
-		return 0, fmt.Errorf("harness: unknown congestion control %q (want dcqcn, timely, or none)", name)
-	}
+	return netsim.ParseCCAlg(name)
+}
+
+// ccParamHelp enumerates the registered schemes for cc-param help
+// strings.
+func ccParamHelp() string {
+	return "congestion control: " + strings.Join(netsim.CCNames(), " | ")
 }
 
 // ParseSSD maps a Table II device letter to its config.
@@ -350,7 +349,7 @@ func init() {
 		Params: []Param{
 			{Name: "requests", Default: "2000", Help: "write-request count (reads get 2x)"},
 			{Name: "seed", Default: "7", Help: "workload seed"},
-			{Name: "cc", Default: "dcqcn", Help: "congestion control: dcqcn | timely | none"},
+			{Name: "cc", Default: "dcqcn", Help: ccParamHelp()},
 		},
 		Run: func(env *Env, p Params) (*Output, error) {
 			requests, err := p.Int("requests")
@@ -413,6 +412,7 @@ func init() {
 		Params: []Param{
 			{Name: "seconds", Default: "0.06", Help: "trace length in seconds"},
 			{Name: "seed", Default: "13", Help: "workload seed"},
+			{Name: "cc", Default: "dcqcn", Help: ccParamHelp()},
 		},
 		Run: func(env *Env, p Params) (*Output, error) {
 			seconds, err := p.Float("seconds")
@@ -423,11 +423,15 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			cc, err := ParseCC(p["cc"])
+			if err != nil {
+				return nil, err
+			}
 			tpm, err := env.tpm(TPMCongestion)
 			if err != nil {
 				return nil, err
 			}
-			rows, err := Fig10Intensity(tpm, seconds, seed, env.Mods...)
+			rows, err := Fig10IntensityCC(tpm, seconds, seed, cc, env.Mods...)
 			if err != nil {
 				return nil, err
 			}
@@ -607,13 +611,44 @@ func init() {
 	})
 
 	register(&Experiment{
+		Name:  "cc-matrix",
+		Title: "CC scheme x SRC on/off matrix on the Fig. 7 workload (throughput retention)",
+		TPM:   TPMCongestion,
+		Params: []Param{
+			{Name: "requests", Default: "1200", Help: "write-request count (reads get 2x)"},
+			{Name: "seed", Default: "7", Help: "workload seed"},
+			{Name: "schemes", Default: "dcqcn,timely,aimd,hpcc,pfc",
+				Help: "comma-separated CC schemes to sweep (see -list-cc)"},
+		},
+		Run: func(env *Env, p Params) (*Output, error) {
+			requests, err := p.Int("requests")
+			if err != nil {
+				return nil, err
+			}
+			seed, err := p.Uint64("seed")
+			if err != nil {
+				return nil, err
+			}
+			tpm, err := env.tpm(TPMCongestion)
+			if err != nil {
+				return nil, err
+			}
+			res, err := CCMatrix(tpm, requests, seed, strings.Split(p["schemes"], ","), env.Mods...)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Text: render(func(w io.Writer) { FprintCCMatrix(w, res) }), Data: res}, nil
+		},
+	})
+
+	register(&Experiment{
 		Name:  "replay",
 		Title: "replay a trace file under both modes on the Sec. IV-D testbed",
 		TPM:   TPMCongestion,
 		Params: []Param{
 			{Name: "file", Default: "", Help: "trace file path (required)"},
 			{Name: "format", Default: "csv", Help: "trace format: csv (tracegen) | msr (MSR Cambridge / SNIA)"},
-			{Name: "cc", Default: "dcqcn", Help: "congestion control: dcqcn | timely | none"},
+			{Name: "cc", Default: "dcqcn", Help: ccParamHelp()},
 		},
 		Run: func(env *Env, p Params) (*Output, error) {
 			if p["file"] == "" {

@@ -1,0 +1,53 @@
+package hpcc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzINTHeader drives the codec invariant: any input either decodes to
+// a header whose re-encoding is byte-identical to the input (the
+// encoding is canonical), or is rejected with a typed *DecodeError.
+func FuzzINTHeader(f *testing.F) {
+	empty, _ := (&INTHeader{}).Encode()
+	one, _ := (&INTHeader{Hops: []INTHop{{Node: 7, Queue: 4096, TxBytes: 1 << 20, TsNs: 5000, RateBps: 10e9}}}).Encode()
+	three, _ := (&INTHeader{Hops: []INTHop{
+		{Node: 1, Queue: 100, TxBytes: 200, TsNs: 300, RateBps: 40e9},
+		{Node: 2, Queue: 0, TxBytes: 1 << 33, TsNs: 1 << 40, RateBps: 100e9},
+		{Node: 3, Queue: ^uint64(0), TxBytes: ^uint64(0), TsNs: ^uint64(0), RateBps: ^uint64(0)},
+	}}).Encode()
+	f.Add(empty)
+	f.Add(one)
+	f.Add(three)
+	f.Add([]byte{})
+	f.Add([]byte{WireVersion})
+	f.Add([]byte{9, 0})
+	f.Add(one[:len(one)-1])
+	f.Add(append(append([]byte{}, one...), 0))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := Decode(b)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("rejection %v is not a *DecodeError", err)
+			}
+			return
+		}
+		out, err := h.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("encoding not canonical:\nin:  %x\nout: %x", b, out)
+		}
+		h2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if len(h2.Hops) != len(h.Hops) {
+			t.Fatalf("hop count changed across round trip: %d != %d", len(h2.Hops), len(h.Hops))
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package hpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The INT header wire format (what a real HPCC NIC would program into
+// the INT-MD shim): a 2-byte preamble (version, hop count) followed by
+// one fixed-size big-endian record per switch hop. The simulator moves
+// INTHeader values by pointer, but the codec is the contract a hardware
+// implementation would serialise, so it is fuzzed for round-trip byte
+// identity (FuzzINTHeader).
+const (
+	// WireVersion is the only INT header version this codec accepts.
+	WireVersion = 1
+	// MaxWireHops bounds the hop count representable on the wire (one
+	// byte); AddHop drops hops beyond it rather than failing the packet.
+	MaxWireHops = 255
+
+	hopWireSize  = 4 + 8 + 8 + 8 + 8 // Node + Queue + TxBytes + TsNs + RateBps
+	preambleSize = 2
+)
+
+// INTHop is one switch hop's telemetry record, stamped at the egress
+// port the packet was queued to.
+type INTHop struct {
+	// Node is the stamping switch's node ID.
+	Node uint32
+	// Queue is the egress queue depth in bytes at enqueue time.
+	Queue uint64
+	// TxBytes is the egress port's cumulative transmitted byte counter;
+	// consecutive samples yield the port's output rate.
+	TxBytes uint64
+	// TsNs is the stamping timestamp in nanoseconds of sim time.
+	TsNs uint64
+	// RateBps is the egress port's line rate in bits/s.
+	RateBps uint64
+}
+
+// INTHeader is the in-network-telemetry metadata a data packet
+// accumulates hop by hop and the receiver echoes back on the ack.
+type INTHeader struct {
+	Hops []INTHop
+}
+
+// AddHop appends one hop record, silently dropping hops beyond the wire
+// capacity (paths in the simulated fabrics are far shorter).
+func (h *INTHeader) AddHop(hop INTHop) {
+	if len(h.Hops) >= MaxWireHops {
+		return
+	}
+	h.Hops = append(h.Hops, hop)
+}
+
+// Encode serialises the header. The encoding is canonical: Decode of the
+// result re-encodes to the identical bytes.
+func (h *INTHeader) Encode() ([]byte, error) {
+	if len(h.Hops) > MaxWireHops {
+		return nil, fmt.Errorf("hpcc: %d hops exceed the %d-hop wire capacity", len(h.Hops), MaxWireHops)
+	}
+	b := make([]byte, preambleSize+len(h.Hops)*hopWireSize)
+	b[0] = WireVersion
+	b[1] = byte(len(h.Hops))
+	off := preambleSize
+	for _, hop := range h.Hops {
+		binary.BigEndian.PutUint32(b[off:], hop.Node)
+		binary.BigEndian.PutUint64(b[off+4:], hop.Queue)
+		binary.BigEndian.PutUint64(b[off+12:], hop.TxBytes)
+		binary.BigEndian.PutUint64(b[off+20:], hop.TsNs)
+		binary.BigEndian.PutUint64(b[off+28:], hop.RateBps)
+		off += hopWireSize
+	}
+	return b, nil
+}
+
+// DecodeError is the typed rejection Decode returns for malformed input.
+type DecodeError struct {
+	// Offset is the byte position the error was detected at.
+	Offset int
+	// Reason describes the malformation.
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("hpcc: INT decode at byte %d: %s", e.Offset, e.Reason)
+}
+
+// Decode parses an encoded INT header. Truncated input, unknown
+// versions, and trailing garbage are all rejected with a *DecodeError.
+func Decode(b []byte) (*INTHeader, error) {
+	if len(b) < preambleSize {
+		return nil, &DecodeError{Offset: len(b), Reason: fmt.Sprintf("truncated preamble: %d of %d bytes", len(b), preambleSize)}
+	}
+	if b[0] != WireVersion {
+		return nil, &DecodeError{Offset: 0, Reason: fmt.Sprintf("unknown version %d", b[0])}
+	}
+	n := int(b[1])
+	want := preambleSize + n*hopWireSize
+	if len(b) < want {
+		return nil, &DecodeError{Offset: len(b), Reason: fmt.Sprintf("truncated hop records: %d of %d bytes for %d hops", len(b), want, n)}
+	}
+	if len(b) > want {
+		return nil, &DecodeError{Offset: want, Reason: fmt.Sprintf("%d trailing bytes", len(b)-want)}
+	}
+	h := &INTHeader{}
+	if n > 0 {
+		h.Hops = make([]INTHop, n)
+	}
+	off := preambleSize
+	for i := range h.Hops {
+		h.Hops[i] = INTHop{
+			Node:    binary.BigEndian.Uint32(b[off:]),
+			Queue:   binary.BigEndian.Uint64(b[off+4:]),
+			TxBytes: binary.BigEndian.Uint64(b[off+12:]),
+			TsNs:    binary.BigEndian.Uint64(b[off+20:]),
+			RateBps: binary.BigEndian.Uint64(b[off+28:]),
+		}
+		off += hopWireSize
+	}
+	return h, nil
+}

@@ -1,0 +1,81 @@
+package hpcc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestINTRoundTrip(t *testing.T) {
+	for _, h := range []*INTHeader{
+		{},
+		{Hops: []INTHop{{Node: 3, Queue: 4096, TxBytes: 1 << 30, TsNs: 123456789, RateBps: 40e9}}},
+		{Hops: []INTHop{
+			{Node: 1, Queue: 0, TxBytes: 10, TsNs: 20, RateBps: 10e9},
+			{Node: 2, Queue: 1 << 20, TxBytes: 1 << 40, TsNs: 1 << 50, RateBps: 100e9},
+			{Node: 0xffffffff, Queue: ^uint64(0), TxBytes: ^uint64(0), TsNs: ^uint64(0), RateBps: ^uint64(0)},
+		}},
+	} {
+		b, err := h.Encode()
+		if err != nil {
+			t.Fatalf("encode %d hops: %v", len(h.Hops), err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %d hops: %v", len(h.Hops), err)
+		}
+		if len(got.Hops) != len(h.Hops) || (len(h.Hops) > 0 && !reflect.DeepEqual(got.Hops, h.Hops)) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, h)
+		}
+		b2, err := got.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("re-encode not byte-identical:\n%x\n%x", b, b2)
+		}
+	}
+}
+
+func TestINTDecodeRejectsMalformed(t *testing.T) {
+	valid, err := (&INTHeader{Hops: []INTHop{{Node: 1, RateBps: 10e9}}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"one byte":       {WireVersion},
+		"bad version":    {9, 0},
+		"truncated hops": valid[:len(valid)-1],
+		"hop count lies": {WireVersion, 3, 0, 0},
+		"trailing bytes": append(append([]byte{}, valid...), 0xaa),
+	}
+	for name, b := range cases {
+		_, err := Decode(b)
+		if err == nil {
+			t.Errorf("%s: decode accepted %x", name, b)
+			continue
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("%s: error %v is not a *DecodeError", name, err)
+		}
+	}
+}
+
+func TestINTAddHopCapsAtWireCapacity(t *testing.T) {
+	h := &INTHeader{}
+	for i := 0; i < MaxWireHops+10; i++ {
+		h.AddHop(INTHop{Node: uint32(i)})
+	}
+	if len(h.Hops) != MaxWireHops {
+		t.Fatalf("AddHop kept %d hops, want cap %d", len(h.Hops), MaxWireHops)
+	}
+	if _, err := h.Encode(); err != nil {
+		t.Fatalf("encode at cap: %v", err)
+	}
+	h.Hops = append(h.Hops, INTHop{})
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("encode accepted a header beyond the wire capacity")
+	}
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"srcsim/internal/ccaimd"
+	"srcsim/internal/hpcc"
+	"srcsim/internal/pfconly"
+	"srcsim/internal/sim"
+	"srcsim/internal/timely"
+)
+
+// TestValidateRejectsUnknownCC pins the fix for the silent DCQCN
+// fallthrough: an unregistered algorithm value is a configuration
+// error, both at Validate and at fabric construction.
+func TestValidateRejectsUnknownCC(t *testing.T) {
+	cfg := Config{CC: CCAlg(99)}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unknown CC algorithm")
+	}
+	if !strings.Contains(err.Error(), "unknown congestion-control") {
+		t.Fatalf("error %q does not name the unknown algorithm", err)
+	}
+	if _, err := NewNetwork(sim.NewEngine(), cfg); err == nil {
+		t.Fatal("NewNetwork accepted an unknown CC algorithm")
+	}
+}
+
+// TestValidateSchemeBlocks checks that every scheme's config block is
+// validated uniformly through the registry, with the line rate
+// resolved from the fabric default.
+func TestValidateSchemeBlocks(t *testing.T) {
+	cases := map[string]Config{
+		"timely tlow above thigh": {CC: CCTIMELY,
+			TIMELY: timely.Config{Tlow: 200 * sim.Microsecond, Thigh: 100 * sim.Microsecond}},
+		"timely min above resolved line": {CC: CCTIMELY,
+			TIMELY: timely.Config{MinRate: 80e9}}, // fabric line defaults to 40e9
+		"aimd gain above one": {CC: CCAIMD,
+			AIMD: ccaimd.Config{Gain: 1.5}},
+		"aimd min above resolved line": {CC: CCAIMD,
+			AIMD: ccaimd.Config{MinRate: 80e9}},
+		"hpcc eta above one": {CC: CCHPCC,
+			HPCC: hpcc.Config{Eta: 1.5}},
+		"hpcc min above resolved line": {CC: CCHPCC,
+			HPCC: hpcc.Config{MinRate: 80e9}},
+		"pfc cut factor one": {CC: CCPFC,
+			PFC: pfconly.Config{CutFactor: 1}},
+		"pfc min above resolved line": {CC: CCPFC,
+			PFC: pfconly.Config{MinRate: 80e9}},
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	// Defaulted blocks validate for every registered scheme.
+	for _, sch := range CCSchemes() {
+		if err := (Config{CC: sch.Alg}).Validate(); err != nil {
+			t.Errorf("%s: default config rejected: %v", sch.Name, err)
+		}
+	}
+}
+
+// TestParseCCAlgRoundTrip: every registered name parses to its own
+// algorithm value; unknown names fail and list the registry.
+func TestParseCCAlgRoundTrip(t *testing.T) {
+	for _, name := range CCNames() {
+		alg, err := ParseCCAlg(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sch, ok := LookupCC(alg)
+		if !ok || sch.Name != name {
+			t.Fatalf("%s resolved to %v (%v)", name, alg, sch)
+		}
+	}
+	_, err := ParseCCAlg("bbr")
+	if err == nil || !strings.Contains(err.Error(), "dcqcn") {
+		t.Fatalf("unknown name error %v should list registered schemes", err)
+	}
+}
+
+// TestRegistryCapabilities pins the capability bits the NIC wires
+// from: CNP generation stays on for the pre-registry schemes (their
+// goldens depend on it) and off for the ack-echo schemes.
+func TestRegistryCapabilities(t *testing.T) {
+	wantCNP := map[string]bool{
+		"dcqcn": true, "timely": true, "none": true, "pfc": true,
+		"aimd": false, "hpcc": false,
+	}
+	for _, sch := range CCSchemes() {
+		want, ok := wantCNP[sch.Name]
+		if !ok {
+			continue // a future scheme; nothing pinned here
+		}
+		if sch.WantsCNP != want {
+			t.Errorf("%s: WantsCNP %v, want %v", sch.Name, sch.WantsCNP, want)
+		}
+		if sch.SignalDriven == (sch.Name == "none") {
+			t.Errorf("%s: SignalDriven %v", sch.Name, sch.SignalDriven)
+		}
+	}
+}
+
+// TestFabricSmokeAllSchemes runs a small incast under every registered
+// scheme: delivery must stay lossless, signal-driven controllers must
+// cut under congestion, and INT headers must ride data packets exactly
+// for schemes whose controller consumes them.
+func TestFabricSmokeAllSchemes(t *testing.T) {
+	for _, sch := range CCSchemes() {
+		t.Run(sch.Name, func(t *testing.T) {
+			cfg := Config{CC: sch.Alg, Seed: 11}
+			cfg.DCQCN.LineRate = 10e9
+			eng, net := newTestNet(t, cfg)
+			hosts := BuildRack(net, 3, 10e9, sim.Microsecond)
+			f0 := net.NewFlow(hosts[0], hosts[2])
+			f1 := net.NewFlow(hosts[1], hosts[2])
+
+			_, wantsINT := f0.RP.(INTObserver)
+			if f0.needsINT != wantsINT {
+				t.Fatalf("needsINT %v but controller INT capability %v", f0.needsINT, wantsINT)
+			}
+			if wantsINT != (sch.Name == "hpcc") {
+				t.Fatalf("INT capability on %s is %v", sch.Name, wantsINT)
+			}
+
+			var cuts int
+			f0.RP.SetRateListener(func(old, new float64) {
+				if new < old {
+					cuts++
+				}
+			})
+			var sent uint64
+			for i := 0; i < 40; i++ {
+				f0.Send(1<<20, nil)
+				f1.Send(1<<20, nil)
+				sent += 2 << 20
+			}
+			eng.RunUntilIdle()
+			if hosts[2].NIC.BytesReceived != sent {
+				t.Fatalf("lost bytes: %d/%d", hosts[2].NIC.BytesReceived, sent)
+			}
+			if sch.SignalDriven && cuts == 0 {
+				t.Fatalf("%s never cut the rate under incast", sch.Name)
+			}
+			if !sch.SignalDriven && f0.RP.Rate() != 10e9 {
+				t.Fatalf("uncontrolled baseline moved to %v", f0.RP.Rate())
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+// Package cctest is the shared conformance suite every congestion-
+// control scheme registered in netsim's CC registry must pass. It
+// drives a scheme's reaction point through the RateController surface
+// alone — plus the optional INT/ECN-echo capabilities, fed benign
+// inputs — and checks the properties the rest of the stack depends on:
+//
+//   - the rate stays within (0, LineRate] at all times;
+//   - back-to-back congestion signals never increase the rate, and the
+//     first signal strictly decreases it for signal-driven schemes;
+//   - a signal-free window of benign feedback recovers the rate toward
+//     line rate;
+//   - the rate listener fires on every change with old != new, chained
+//     (each event's old equals the previous event's new), and the rate
+//     never moves without an event — SRC's rate-event source must not
+//     miss transitions;
+//   - the same input sequence yields a byte-identical rate trajectory
+//     (math.Float64bits) across fresh runs: determinism.
+//
+// Tests invoke Conformance once per registry entry, so a newly
+// registered scheme is covered without writing any scheme-specific
+// test code.
+package cctest
+
+import (
+	"math"
+	"testing"
+
+	"srcsim/internal/hpcc"
+	"srcsim/internal/netsim"
+	"srcsim/internal/sim"
+)
+
+// lineRate is the fabric line rate every conformance controller runs
+// at; small enough that signal bursts reach scheme floors quickly.
+const lineRate = 10e9
+
+// newController builds a fresh engine and reaction point for the
+// scheme exactly the way the NIC does: through the registry
+// constructor with a defaulted fabric config.
+func newController(sch *netsim.CCScheme) (*sim.Engine, netsim.RateController) {
+	eng := sim.NewEngine()
+	cfg := netsim.Config{CC: sch.Alg}
+	cfg.DCQCN.LineRate = lineRate
+	cfg = cfg.WithDefaults()
+	return eng, sch.New(netsim.CCEnv{Eng: eng, Cfg: &cfg})
+}
+
+// feedBenign drives steps of congestion-free feedback appropriate to
+// whatever capabilities the controller exposes — sent bytes, low-RTT
+// acks, unmarked ECN echo, idle-path INT samples — advancing the
+// engine between steps, then drains all pending timers.
+func feedBenign(eng *sim.Engine, rc netsim.RateController, steps int) {
+	intRP, _ := rc.(netsim.INTObserver)
+	ecnRP, _ := rc.(netsim.ECNEchoObserver)
+	txBytes := uint64(0)
+	tsNs := uint64(eng.Now())
+	for i := 0; i < steps; i++ {
+		rc.OnBytesSent(4096)
+		if rc.NeedsAck() {
+			rc.OnAck(10 * sim.Microsecond)
+		}
+		if ecnRP != nil {
+			ecnRP.OnAckECN(false)
+		}
+		if intRP != nil {
+			// An idle bottleneck: empty queue, ~5% port utilisation.
+			txBytes += 1250
+			tsNs += 20000
+			intRP.OnINTAck(&hpcc.INTHeader{Hops: []hpcc.INTHop{
+				{Node: 1, Queue: 0, TxBytes: txBytes, TsNs: tsNs, RateBps: lineRate},
+			}})
+		}
+		eng.Run(eng.Now() + 20*sim.Microsecond)
+	}
+	eng.RunUntilIdle()
+}
+
+// Conformance runs the full property suite against one registered
+// scheme.
+func Conformance(t *testing.T, sch *netsim.CCScheme) {
+	t.Run("Bounds", func(t *testing.T) {
+		eng, rc := newController(sch)
+		if r := rc.Rate(); r <= 0 || r > lineRate {
+			t.Fatalf("initial rate %v outside (0, %v]", r, float64(lineRate))
+		}
+		rc.SetRateListener(func(_, new float64) {
+			if new <= 0 || new > lineRate {
+				t.Fatalf("rate moved to %v, outside (0, %v]", new, float64(lineRate))
+			}
+		})
+		for i := 0; i < 50; i++ {
+			rc.OnCongestionSignal()
+		}
+		feedBenign(eng, rc, 100)
+	})
+
+	t.Run("MonotoneDecreaseOnSignals", func(t *testing.T) {
+		_, rc := newController(sch)
+		prev := rc.Rate()
+		for i := 0; i < 50; i++ {
+			rc.OnCongestionSignal()
+			if rc.Rate() > prev {
+				t.Fatalf("signal %d increased rate %v -> %v", i, prev, rc.Rate())
+			}
+			prev = rc.Rate()
+		}
+		if sch.SignalDriven && rc.Rate() >= lineRate {
+			t.Fatalf("signal-driven scheme held %v, want a strict decrease", rc.Rate())
+		}
+	})
+
+	t.Run("RecoveryWhenSignalFree", func(t *testing.T) {
+		eng, rc := newController(sch)
+		for i := 0; i < 20; i++ {
+			rc.OnCongestionSignal()
+		}
+		throttled := rc.Rate()
+		if sch.SignalDriven && throttled >= lineRate {
+			t.Fatalf("signals did not throttle (%v)", throttled)
+		}
+		feedBenign(eng, rc, 200)
+		if got := rc.Rate(); got > lineRate {
+			t.Fatalf("recovered past line rate: %v", got)
+		} else if sch.SignalDriven && got <= throttled {
+			t.Fatalf("rate %v did not recover from %v in a signal-free window", got, throttled)
+		}
+	})
+
+	t.Run("ListenerCompleteness", func(t *testing.T) {
+		eng, rc := newController(sch)
+		last := rc.Rate()
+		rc.SetRateListener(func(old, new float64) {
+			if old == new {
+				t.Fatalf("listener fired with old == new == %v", old)
+			}
+			if old != last {
+				t.Fatalf("listener old %v does not chain from last reported %v", old, last)
+			}
+			last = new
+		})
+		check := func(ctx string) {
+			if rc.Rate() != last {
+				t.Fatalf("%s: rate %v moved without a listener event (last %v)", ctx, rc.Rate(), last)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			rc.OnCongestionSignal()
+			check("signal")
+		}
+		intRP, _ := rc.(netsim.INTObserver)
+		ecnRP, _ := rc.(netsim.ECNEchoObserver)
+		for i := 0; i < 50; i++ {
+			rc.OnBytesSent(4096)
+			if rc.NeedsAck() {
+				rc.OnAck(10 * sim.Microsecond)
+			}
+			if ecnRP != nil {
+				ecnRP.OnAckECN(i%4 == 0)
+			}
+			if intRP != nil {
+				intRP.OnINTAck(&hpcc.INTHeader{Hops: []hpcc.INTHop{
+					{Node: 1, Queue: uint64(i%3) * 1 << 18, TxBytes: uint64(i) * 2500, TsNs: uint64(i+1) * 20000, RateBps: lineRate},
+				}})
+			}
+			check("feedback")
+			eng.Run(eng.Now() + 20*sim.Microsecond)
+			check("tick")
+		}
+		eng.RunUntilIdle()
+		check("drain")
+	})
+
+	t.Run("Determinism", func(t *testing.T) {
+		a := trajectory(sch)
+		b := trajectory(sch)
+		if len(a) != len(b) {
+			t.Fatalf("trajectory lengths differ: %d != %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trajectories diverge at event %d: %x != %x",
+					i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// trajectory runs one fixed congest-recover-congest scenario on a
+// fresh controller and returns every reported rate as raw float bits.
+func trajectory(sch *netsim.CCScheme) []uint64 {
+	eng, rc := newController(sch)
+	traj := []uint64{math.Float64bits(rc.Rate())}
+	rc.SetRateListener(func(_, new float64) {
+		traj = append(traj, math.Float64bits(new))
+	})
+	for i := 0; i < 5; i++ {
+		rc.OnCongestionSignal()
+	}
+	feedBenign(eng, rc, 50)
+	for i := 0; i < 3; i++ {
+		rc.OnCongestionSignal()
+	}
+	feedBenign(eng, rc, 50)
+	return append(traj, math.Float64bits(rc.Rate()))
+}

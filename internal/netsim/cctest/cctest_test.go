@@ -1,0 +1,20 @@
+package cctest
+
+import (
+	"testing"
+
+	"srcsim/internal/netsim"
+)
+
+// TestAllRegisteredSchemes runs the conformance suite over every
+// scheme in the CC registry, so registering a scheme is what opts it
+// into coverage.
+func TestAllRegisteredSchemes(t *testing.T) {
+	schemes := netsim.CCSchemes()
+	if len(schemes) < 6 {
+		t.Fatalf("registry holds %d schemes, want at least the 6 built-ins", len(schemes))
+	}
+	for _, sch := range schemes {
+		t.Run(sch.Name, func(t *testing.T) { Conformance(t, sch) })
+	}
+}

@@ -14,12 +14,17 @@ package netsim
 import (
 	"fmt"
 
+	"srcsim/internal/ccaimd"
 	"srcsim/internal/dcqcn"
+	"srcsim/internal/hpcc"
+	"srcsim/internal/pfconly"
 	"srcsim/internal/sim"
 	"srcsim/internal/timely"
 )
 
-// CCAlg selects the congestion-control algorithm new flows run.
+// CCAlg selects the congestion-control algorithm new flows run. Each
+// value resolves through the CC registry (ccregistry.go) to a
+// registered CCScheme.
 type CCAlg int
 
 const (
@@ -31,6 +36,17 @@ const (
 	// CCNone disables rate control: flows pace at line rate and only
 	// PFC restrains them (ablation baseline).
 	CCNone
+	// CCAIMD is the ECN-fraction AIMD "oversubscribed CC" (REPS-style):
+	// per-ack ECN echo feeds an EWMA congestion level, decreases are
+	// proportional to the overshoot above the target level.
+	CCAIMD
+	// CCHPCC is the in-network-telemetry scheme: data packets carry an
+	// INT header stamped at every switch hop, and the sender aligns to
+	// the bottleneck hop's measured utilisation.
+	CCHPCC
+	// CCPFC is the PFC/RCM baseline: a static rate-control module
+	// (fixed cut, linear recovery) with PFC doing the heavy lifting.
+	CCPFC
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +58,12 @@ func (a CCAlg) String() string {
 		return "TIMELY"
 	case CCNone:
 		return "none"
+	case CCAIMD:
+		return "AIMD"
+	case CCHPCC:
+		return "HPCC"
+	case CCPFC:
+		return "PFC"
 	default:
 		return fmt.Sprintf("CCAlg(%d)", int(a))
 	}
@@ -73,9 +95,14 @@ type Config struct {
 	// behaviour). DCQCN.LineRate is used as the default link rate.
 	DCQCN dcqcn.Config
 	// CC selects the congestion-control algorithm for new flows
-	// (default CCDCQCN); TIMELY carries the constants for CCTIMELY.
+	// (default CCDCQCN), resolved through the CC registry; the TIMELY,
+	// AIMD, HPCC, and PFC blocks carry the per-scheme constants. A
+	// scheme block's unset LineRate defaults to DCQCN.LineRate.
 	CC     CCAlg
 	TIMELY timely.Config
+	AIMD   ccaimd.Config
+	HPCC   hpcc.Config
+	PFC    pfconly.Config
 	// MTU is the data-packet payload size in bytes (default 4096).
 	MTU int
 	// PFCXoff and PFCXon are the per-ingress pause thresholds in bytes
@@ -118,7 +145,10 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Validate reports inconsistent settings.
+// Validate reports inconsistent settings. An unknown CC algorithm is an
+// error here (not a silent fallthrough to DCQCN), and the selected
+// scheme's own config block is validated with its LineRate resolved
+// uniformly from DCQCN.LineRate.
 func (c Config) Validate() error {
 	c = c.WithDefaults()
 	if err := c.DCQCN.Validate(); err != nil {
@@ -126,6 +156,15 @@ func (c Config) Validate() error {
 	}
 	if c.PFCXon >= c.PFCXoff {
 		return fmt.Errorf("netsim: PFC Xon %d must be below Xoff %d", c.PFCXon, c.PFCXoff)
+	}
+	sch, ok := LookupCC(c.CC)
+	if !ok {
+		return fmt.Errorf("netsim: unknown congestion-control algorithm %v (registered: %v)", c.CC, CCNames())
+	}
+	if sch.Validate != nil {
+		if err := sch.Validate(&c); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -183,6 +222,13 @@ type Packet struct {
 	// Payload rides only on the last packet of a message and is handed
 	// to the receiver's OnMessage callback.
 	Payload any
+	// INT is the in-network-telemetry header (CCHPCC flows only):
+	// attached by the sender to data packets, stamped with one hop
+	// record per switch, moved onto the acknowledgement by the
+	// receiver, and consumed by the sender's INTObserver. It rides as
+	// metadata — Size is unchanged, so reassembly and queue accounting
+	// are unaffected.
+	INT *hpcc.INTHeader
 
 	ingress *Port // per-hop PFC attribution at the current switch
 

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"srcsim/internal/hpcc"
 	"srcsim/internal/obs"
 	"srcsim/internal/sim"
 )
@@ -557,6 +558,19 @@ func (node *Node) receive(pkt *Packet, in *Port) {
 	}
 	if pkt.Kind == Data {
 		pkt.ingress = in
+		if pkt.INT != nil {
+			// Stamp this hop's telemetry (CCHPCC flows only): the egress
+			// queue depth before this packet joins it, the port's
+			// cumulative TxBytes (consecutive samples yield its output
+			// rate), and the port rate.
+			pkt.INT.AddHop(hpcc.INTHop{
+				Node:    uint32(node.ID),
+				Queue:   uint64(egress.QueueBytes),
+				TxBytes: egress.TxBytes,
+				TsNs:    uint64(net.eng.Now()),
+				RateBps: uint64(egress.rate),
+			})
+		}
 		egress.enqueueData(pkt)
 	} else {
 		egress.enqueueCtrl(pkt)

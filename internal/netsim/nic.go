@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"srcsim/internal/dcqcn"
+	"srcsim/internal/hpcc"
 	"srcsim/internal/sim"
-	"srcsim/internal/timely"
 )
 
 // HostNIC terminates flows at a host: it paces per-flow transmission
@@ -55,11 +55,21 @@ type Flow struct {
 	Dst *Node
 
 	// RP is the flow's reaction point (DCQCN by default; selected by
-	// Config.CC).
+	// Config.CC through the CC registry).
 	RP RateController
 	NP *dcqcn.NP
 
 	nic *HostNIC
+
+	// Scheme capabilities, resolved once at flow creation so the
+	// per-packet paths pay a field test instead of a registry lookup and
+	// type assertion: wantsCNP gates the receiver's notification point,
+	// intRP/ecnRP are the controller's optional INT and ECN-echo hooks
+	// (needsINT mirrors intRP != nil for the sender side).
+	wantsCNP bool
+	needsINT bool
+	intRP    INTObserver
+	ecnRP    ECNEchoObserver
 
 	sendq    []outMsg
 	sendHead int // consumed prefix of sendq (compacted as it grows)
@@ -95,20 +105,20 @@ func (s *staticRC) OnAck(sim.Time)                         {}
 func (s *staticRC) NeedsAck() bool                         { return false }
 func (s *staticRC) SetRateListener(func(old, new float64)) {}
 
-// newRateController builds the configured reaction point.
-func (n *Network) newRateController() RateController {
-	switch n.Cfg.CC {
-	case CCTIMELY:
-		tc := n.Cfg.TIMELY
-		if tc.LineRate <= 0 {
-			tc.LineRate = n.Cfg.DCQCN.LineRate
-		}
-		return timely.NewRP(tc)
-	case CCNone:
-		return &staticRC{rate: n.Cfg.DCQCN.LineRate}
-	default:
-		return dcqcn.NewRP(n.eng, n.Cfg.DCQCN)
+// ccScheme resolves the configured scheme; Config.Validate rejected
+// unknown values at NewNetwork, so a miss here is a wiring bug.
+func (n *Network) ccScheme() *CCScheme {
+	sch, ok := LookupCC(n.Cfg.CC)
+	if !ok {
+		panic(fmt.Sprintf("netsim: unregistered CC algorithm %v (Validate skipped?)", n.Cfg.CC))
 	}
+	return sch
+}
+
+// newRateController builds the configured reaction point through the CC
+// registry.
+func (n *Network) newRateController() RateController {
+	return n.ccScheme().New(CCEnv{Eng: n.eng, Cfg: &n.Cfg})
 }
 
 // NewFlow creates a flow from src to dst. Rate-change notifications can
@@ -120,13 +130,19 @@ func (n *Network) NewFlow(src, dst *Node) *Flow {
 	if src == dst {
 		panic("netsim: flow to self")
 	}
+	sch := n.ccScheme()
 	f := &Flow{
 		ID:  len(n.flows),
 		Src: src, Dst: dst,
 		RP:  n.newRateController(),
 		NP:  dcqcn.NewNP(n.Cfg.DCQCN),
 		nic: src.NIC,
+
+		wantsCNP: sch.WantsCNP,
 	}
+	f.intRP, _ = f.RP.(INTObserver)
+	f.ecnRP, _ = f.RP.(ECNEchoObserver)
+	f.needsINT = f.intRP != nil
 	n.flows = append(n.flows, f)
 	src.NIC.flows = append(src.NIC.flows, f)
 	if o := n.obs; o != nil {
@@ -216,6 +232,9 @@ func (f *Flow) emit() {
 	pkt.FlowID, pkt.MsgID, pkt.MsgSize = f.ID, msg.id, msg.size
 	pkt.Size, pkt.Kind, pkt.Last = chunk, Data, last
 	pkt.SentAt = at
+	if f.needsINT {
+		pkt.INT = &hpcc.INTHeader{}
+	}
 	if last {
 		pkt.Payload = msg.payload
 		*msg = outMsg{}
@@ -271,12 +290,18 @@ func (nic *HostNIC) receive(pkt *Packet) {
 		return
 	case Ack:
 		if f := net.Flow(pkt.FlowID); f != nil {
+			if f.intRP != nil && pkt.INT != nil {
+				f.intRP.OnINTAck(pkt.INT)
+			}
+			if f.ecnRP != nil {
+				f.ecnRP.OnAckECN(pkt.ECN)
+			}
 			f.RP.OnAck(net.eng.Now() - pkt.SentAt)
 		}
 		return
 	case Data:
 		flow := net.Flow(pkt.FlowID)
-		if pkt.ECN && flow != nil && flow.NP.OnMarkedPacket(net.eng.Now()) {
+		if pkt.ECN && flow != nil && flow.wantsCNP && flow.NP.OnMarkedPacket(net.eng.Now()) {
 			// Send a CNP back to the sender.
 			net.CNPsSent++
 			if net.obs != nil {
@@ -288,11 +313,19 @@ func (nic *HostNIC) receive(pkt *Packet) {
 			nic.sendCtrl(cnp, pkt.Src)
 		}
 		if flow != nil && flow.RP.NeedsAck() {
-			// Echo an RTT probe back to the sender.
+			// Echo an RTT probe back to the sender. Schemes that consume
+			// INT or per-ack ECN get the data packet's telemetry moved or
+			// copied onto the acknowledgement.
 			ack := net.allocPkt()
 			ack.Src, ack.Dst = nic.node.ID, pkt.Src
 			ack.FlowID, ack.Size = pkt.FlowID, net.Cfg.CtrlPacketSize
 			ack.Kind, ack.SentAt = Ack, pkt.SentAt
+			if flow.intRP != nil {
+				ack.INT, pkt.INT = pkt.INT, nil
+			}
+			if flow.ecnRP != nil {
+				ack.ECN = pkt.ECN
+			}
 			nic.sendCtrl(ack, pkt.Src)
 		}
 		nic.BytesReceived += uint64(pkt.Size)

@@ -3,9 +3,14 @@ package netsim
 import (
 	"strconv"
 
-	"srcsim/internal/dcqcn"
 	"srcsim/internal/obs/timeseries"
 )
+
+// seriesSampler is the optional flight-recorder probe a RateController
+// exposes; all registered schemes except the CCNone stub implement it.
+type seriesSampler interface {
+	SampleSeries(track, prefix string, emit timeseries.Emit)
+}
 
 // SwitchQueuedBytes returns the total bytes queued at switch egress
 // ports — the fabric-load probe behind the control plane's
@@ -55,7 +60,7 @@ func (n *Network) SampleSeries(track string, emit timeseries.Emit) {
 	for _, f := range n.flows {
 		prefix := "flow" + strconv.Itoa(f.ID)
 		emit(track, prefix+"_queued_bytes", timeseries.Gauge, float64(f.QueuedBytes))
-		if rp, ok := f.RP.(*dcqcn.RP); ok {
+		if rp, ok := f.RP.(seriesSampler); ok {
 			rp.SampleSeries(track, prefix, emit)
 		} else {
 			emit(track, prefix+"_rate_gbps", timeseries.Gauge, f.RP.Rate()/1e9)

@@ -15,6 +15,7 @@ package timely
 import (
 	"fmt"
 
+	"srcsim/internal/obs/timeseries"
 	"srcsim/internal/sim"
 )
 
@@ -174,6 +175,14 @@ func (rp *RP) OnAck(rtt sim.Time) {
 		}
 		rp.setRate(rp.rate * (1 - rp.cfg.Beta*gradient))
 	}
+}
+
+// SampleSeries is the reaction point's flight-recorder probe: the
+// current rate and the smoothed RTT-difference series driving the
+// gradient. Read-only.
+func (rp *RP) SampleSeries(track, prefix string, emit timeseries.Emit) {
+	emit(track, prefix+"_rate_gbps", timeseries.Gauge, rp.rate/1e9)
+	emit(track, prefix+"_rttdiff_us", timeseries.Gauge, rp.rttDiff/1e3)
 }
 
 func (rp *RP) setRate(newRate float64) {
