@@ -12,7 +12,10 @@
 //	srcsim -experiment table4 [-seconds 0.08]
 //	srcsim -experiment fig10 [-seconds 0.06]
 //	srcsim -experiment fig2
+//	srcsim -list-scenarios          (enumerate the composed scenario library)
+//	srcsim -scenario vdi-boot-storm (run a library scenario under both modes)
 //	srcsim -replay my.csv           (replay a tracegen CSV under both modes)
+//	srcsim -replay t.jsonl -format jsonl   (replay an open-format JSONL trace)
 //
 // Experiments that need a trained throughput-prediction model train one
 // lazily (or load -tpm); training results are reused across runs through
@@ -87,6 +90,7 @@ import (
 	"srcsim/internal/obs"
 	"srcsim/internal/obs/live"
 	"srcsim/internal/obs/timeseries"
+	"srcsim/internal/scenario"
 	"srcsim/internal/sim"
 	"srcsim/internal/trace"
 )
@@ -130,6 +134,8 @@ func run() int {
 	experiment := flag.String("experiment", "fig7", "registered experiment to run (see -list)")
 	list := flag.Bool("list", false, "list registered experiments with their parameters and exit")
 	listCC := flag.Bool("list-cc", false, "list registered congestion-control schemes and exit")
+	listScenarios := flag.Bool("list-scenarios", false, "list the built-in composed scenario library and exit")
+	scenarioName := flag.String("scenario", "", "run a library scenario by name, or a scenario spec by .json path (shorthand for -experiment scenario; see -list-scenarios)")
 	// requests/seconds/seed/cc reach experiments through the override
 	// overlay below (flag.Visit), not through direct reads.
 	flag.Int("requests", 2000, "write-request count for fig7/chaos-soak (reads get 2x)")
@@ -138,7 +144,7 @@ func run() int {
 	trainCount := flag.Int("train", 1500, "per-direction request count for TPM training runs")
 	replayFile := flag.String("replay", "", "replay a trace CSV (from cmd/tracegen) on the Sec. IV-D testbed instead of a named experiment")
 	cc := flag.String("cc", "dcqcn", "congestion control: "+strings.Join(netsim.CCNames(), " | ")+" (see -list-cc)")
-	format := flag.String("format", "csv", "trace file format for -replay: csv (tracegen) | msr (MSR Cambridge / SNIA)")
+	format := flag.String("format", "csv", "trace file format for -replay: csv (tracegen) | msr (MSR Cambridge / SNIA) | jsonl (open trace format)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON for -replay runs")
 	tpmPath := flag.String("tpm", "", "load a pre-trained TPM (from tpmtrain -save) instead of training")
 	faultsFile := flag.String("faults", "", "load a fault-injection schedule (JSON, see internal/faults) and replay it into every cluster run")
@@ -163,6 +169,15 @@ func run() int {
 	if *listCC {
 		netsim.FprintCCSchemes(os.Stdout)
 		return exitOK
+	}
+	if *listScenarios {
+		for _, sc := range scenario.Library() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Title)
+		}
+		return exitOK
+	}
+	if *scenarioName != "" {
+		*experiment = "scenario"
 	}
 
 	// Fail on a bad -experiment now, before minutes of TPM training.
@@ -364,6 +379,8 @@ func run() int {
 			tr, err = trace.ReadCSV(f)
 		case "msr":
 			tr, err = trace.ReadMSR(f)
+		case "jsonl":
+			tr, err = trace.ReadJSONL(f)
 		default:
 			f.Close()
 			log.Printf("unknown trace format %q", *format)
@@ -399,6 +416,14 @@ func run() int {
 	// defaults; flags the experiment does not declare are ignored, so
 	// e.g. -cc only affects experiments with a cc parameter.
 	overrides := map[string]string{}
+	if *scenarioName != "" {
+		// A path selects a custom spec file; a bare word a library entry.
+		if strings.ContainsRune(*scenarioName, '/') || strings.HasSuffix(*scenarioName, ".json") {
+			overrides["file"] = *scenarioName
+		} else {
+			overrides["name"] = *scenarioName
+		}
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "requests", "seconds", "seed", "cc":

@@ -1,21 +1,24 @@
 // Command tracegen generates and inspects I/O workload traces: the
 // paper's micro traces (exponential inter-arrival and size), synthetic
 // MMPP traces fit to target statistics, and the VDI/CBS-like presets.
-// Traces are written as CSV (see internal/trace) for replay or external
-// analysis; -inspect prints the feature statistics of an existing trace.
+// Traces are written as CSV or as the open JSONL trace format (see
+// internal/trace) for replay or external analysis; -inspect prints the
+// feature statistics of an existing trace.
 //
 // Usage:
 //
 //	tracegen -kind micro -count 5000 -ia 10us -size 32768 -o trace.csv
 //	tracegen -kind synthetic -ia-scv 4 -acf 0.2 -size-scv 2 -o bursty.csv
-//	tracegen -kind vdi -count 5000 -o vdi.csv
+//	tracegen -kind vdi -count 5000 -format jsonl -o vdi.jsonl
 //	tracegen -inspect trace.csv
 //	tracegen -inspect msr_trace.csv -format msr
+//	tracegen -inspect vdi.jsonl -format jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -39,7 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output CSV path (default stdout)")
 	inspect := flag.String("inspect", "", "print statistics of an existing trace file and exit")
-	format := flag.String("format", "csv", "format of the -inspect file: csv (tracegen) | msr (MSR Cambridge / SNIA)")
+	format := flag.String("format", "csv", "trace encoding: csv | jsonl (open trace format) when generating; csv | msr (MSR Cambridge / SNIA) | jsonl when inspecting")
 	flag.Parse()
 
 	if *inspect != "" {
@@ -54,6 +57,8 @@ func main() {
 			tr, err = trace.ReadCSV(f)
 		case "msr":
 			tr, err = trace.ReadMSR(f)
+		case "jsonl":
+			tr, err = trace.ReadJSONL(f)
 		default:
 			log.Fatalf("unknown format %q", *format)
 		}
@@ -73,34 +78,12 @@ func main() {
 		return
 	}
 
-	var tr *trace.Trace
-	var err error
-	meanIA := sim.Time(ia.Nanoseconds())
-	switch *kind {
-	case "micro":
-		tr = workload.Micro(workload.MicroConfig{
-			Seed:      *seed,
-			ReadCount: *count, WriteCount: *count,
-			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
-			ReadMeanSize: *size, WriteMeanSize: *size,
-		})
-	case "synthetic":
-		tr, err = workload.Synthetic(workload.SyntheticConfig{
-			Seed:      *seed,
-			ReadCount: *count, WriteCount: *count,
-			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
-			ReadInterArrivalSCV: *iaSCV, WriteInterArrivalSCV: *iaSCV,
-			ReadACF1: *acf, WriteACF1: *acf,
-			ReadMeanSize: *size, WriteMeanSize: *size,
-			ReadSizeSCV: *sizeSCV, WriteSizeSCV: *sizeSCV,
-		})
-	case "vdi":
-		tr, err = workload.VDILike(*seed, *count)
-	case "cbs":
-		tr, err = workload.CBSLike(*seed, *count)
-	default:
-		log.Fatalf("unknown kind %q", *kind)
+	write, err := encoderFor(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	tr, err := buildTrace(*kind, *seed, *count, sim.Time(ia.Nanoseconds()), *size, *iaSCV, *sizeSCV, *acf)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,10 +101,52 @@ func main() {
 		}()
 		w = f
 	}
-	if err := trace.WriteCSV(w, tr); err != nil {
+	if err := write(w, tr); err != nil {
 		log.Fatal(err)
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d requests (%s) to %s\n", tr.Len(), tr.Duration(), *out)
+	}
+}
+
+// encoderFor maps a -format value to its trace writer.
+func encoderFor(format string) (func(io.Writer, *trace.Trace) error, error) {
+	switch format {
+	case "csv":
+		return trace.WriteCSV, nil
+	case "jsonl":
+		return trace.WriteJSONL, nil
+	default:
+		return nil, fmt.Errorf("unknown output format %q (want csv or jsonl)", format)
+	}
+}
+
+// buildTrace generates the requested trace kind with the shared knobs;
+// kinds that don't use a knob ignore it (vdi/cbs take only seed+count).
+func buildTrace(kind string, seed uint64, count int, meanIA sim.Time, size int, iaSCV, sizeSCV, acf float64) (*trace.Trace, error) {
+	switch kind {
+	case "micro":
+		return workload.Micro(workload.MicroConfig{
+			Seed:      seed,
+			ReadCount: count, WriteCount: count,
+			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
+			ReadMeanSize: size, WriteMeanSize: size,
+		})
+	case "synthetic":
+		return workload.Synthetic(workload.SyntheticConfig{
+			Seed:      seed,
+			ReadCount: count, WriteCount: count,
+			ReadInterArrival: meanIA, WriteInterArrival: meanIA,
+			ReadInterArrivalSCV: iaSCV, WriteInterArrivalSCV: iaSCV,
+			ReadACF1: acf, WriteACF1: acf,
+			ReadMeanSize: size, WriteMeanSize: size,
+			ReadSizeSCV: sizeSCV, WriteSizeSCV: sizeSCV,
+		})
+	case "vdi":
+		return workload.VDILike(seed, count)
+	case "cbs":
+		return workload.CBSLike(seed, count)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
 }

@@ -155,7 +155,7 @@ type WorkloadSpec struct {
 }
 
 // Trace materialises the spec.
-func (ws WorkloadSpec) Trace() *trace.Trace {
+func (ws WorkloadSpec) Trace() (*trace.Trace, error) {
 	wia, wsz, wc := ws.WriteInterArrival, ws.WriteMeanSize, ws.WriteCount
 	if wia == 0 {
 		wia = ws.InterArrival
@@ -192,7 +192,10 @@ func CollectSamples(cfg ssd.Config, specs []WorkloadSpec, ws []int, group int) (
 	err := pool.Pool{}.ForEach(len(jobs), func(ji int) error {
 		j := jobs[ji]
 		spec := specs[j.si]
-		tr := spec.Trace()
+		tr, err := spec.Trace()
+		if err != nil {
+			return err
+		}
 		res, err := Run(cfg, tr, ws[j.wi])
 		if err != nil {
 			return err

@@ -20,8 +20,18 @@ func heavySpec(seed uint64) WorkloadSpec {
 	}
 }
 
+// mustTrace materialises a spec, failing the test on generator error.
+func mustTrace(tb testing.TB, ws WorkloadSpec) *trace.Trace {
+	tb.Helper()
+	tr, err := ws.Trace()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
 func TestRunBasics(t *testing.T) {
-	res, err := Run(ssd.ConfigA(), heavySpec(1).Trace(), 1)
+	res, err := Run(ssd.ConfigA(), mustTrace(t, heavySpec(1)), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,13 +48,13 @@ func TestRunBasics(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(ssd.ConfigA(), heavySpec(1).Trace(), 0); err == nil {
+	if _, err := Run(ssd.ConfigA(), mustTrace(t, heavySpec(1)), 0); err == nil {
 		t.Fatal("w=0 should error")
 	}
-	if _, err := Run(ssd.ConfigA(), heavySpec(1).Trace(), -1); err == nil {
+	if _, err := Run(ssd.ConfigA(), mustTrace(t, heavySpec(1)), -1); err == nil {
 		t.Fatal("negative w should error")
 	}
-	if _, err := Run(ssd.ConfigA(), WorkloadSpec{Count: 0, InterArrival: 1, MeanSize: 1}.Trace(), 1); err == nil {
+	if _, err := Run(ssd.ConfigA(), mustTrace(t, WorkloadSpec{Count: 0, InterArrival: 1, MeanSize: 1}), 1); err == nil {
 		t.Fatal("empty trace should error")
 	}
 }
@@ -54,7 +64,7 @@ func TestRunValidation(t *testing.T) {
 // (2) read falls and write rises as w grows under heavy load;
 // (3) the effect fades under light load (WRR degrades to RR).
 func TestFig5Shape(t *testing.T) {
-	heavy := heavySpec(2).Trace()
+	heavy := mustTrace(t, heavySpec(2))
 	r1, err := Run(ssd.ConfigA(), heavy, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -74,9 +84,9 @@ func TestFig5Shape(t *testing.T) {
 		t.Fatalf("heavy: write did not rise with w: %.2f -> %.2f", r1.WriteGbps, r4.WriteGbps)
 	}
 
-	light := WorkloadSpec{
+	light := mustTrace(t, WorkloadSpec{
 		InterArrival: 25 * sim.Microsecond, MeanSize: 10 << 10, Count: 2500, Seed: 3,
-	}.Trace()
+	})
 	l1, err := Run(ssd.ConfigA(), light, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -91,11 +101,11 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a, err := Run(ssd.ConfigB(), heavySpec(5).Trace(), 3)
+	a, err := Run(ssd.ConfigB(), mustTrace(t, heavySpec(5)), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(ssd.ConfigB(), heavySpec(5).Trace(), 3)
+	b, err := Run(ssd.ConfigB(), mustTrace(t, heavySpec(5)), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +120,7 @@ func TestWorkloadSpecAsymmetric(t *testing.T) {
 		WriteInterArrival: 20 * sim.Microsecond, WriteMeanSize: 23 << 10, WriteCount: 500,
 		Seed: 4,
 	}
-	tr := spec.Trace()
+	tr := mustTrace(t, spec)
 	if tr.Len() != 1500 {
 		t.Fatalf("trace len %d", tr.Len())
 	}
@@ -162,7 +172,10 @@ func TestCollectSamplesParallelDeterministic(t *testing.T) {
 }
 
 func TestCollectSamplesFromTraces(t *testing.T) {
-	tr := workload.Intensity(workload.Moderate, 1, 800)
+	tr, err := workload.Intensity(workload.Moderate, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
 	samples, err := CollectSamplesFromTraces(ssd.ConfigA(), []*trace.Trace{tr}, []int{1, 2}, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +223,7 @@ func TestTrainTPMProducesUsableModel(t *testing.T) {
 }
 
 func BenchmarkDeviceRun(b *testing.B) {
-	tr := heavySpec(1).Trace()
+	tr := mustTrace(b, heavySpec(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -221,7 +234,7 @@ func BenchmarkDeviceRun(b *testing.B) {
 }
 
 func TestRunLatencyHistograms(t *testing.T) {
-	res, err := Run(ssd.ConfigA(), heavySpec(21).Trace(), 1)
+	res, err := Run(ssd.ConfigA(), mustTrace(t, heavySpec(21)), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +252,7 @@ func TestRunLatencyHistograms(t *testing.T) {
 
 func TestHigherWeightCutsWriteLatency(t *testing.T) {
 	// Prioritising writes must reduce their queueing latency under load.
-	tr := heavySpec(22).Trace()
+	tr := mustTrace(t, heavySpec(22))
 	r1, err := Run(ssd.ConfigA(), tr, 1)
 	if err != nil {
 		t.Fatal(err)

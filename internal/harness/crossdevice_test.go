@@ -29,7 +29,10 @@ func TestWRRShapeAcrossTableIIDevices(t *testing.T) {
 				Count:        count,
 				Seed:         7,
 			}
-			tr := spec.Trace()
+			tr, err := spec.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
 			r1, err := devrun.Run(cfg, tr, 1)
 			if err != nil {
 				t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"srcsim/internal/ml"
 	"srcsim/internal/netsim"
 	"srcsim/internal/obs/timeseries"
+	"srcsim/internal/scenario"
 	"srcsim/internal/sim"
 	"srcsim/internal/ssd"
 )
@@ -198,6 +199,19 @@ func matrixSuite(t *testing.T, tpmCong, tpm9 *core.TPM, record bool) map[string]
 		t.Fatalf("hang-retry: %v", err)
 	}
 	put("hang-retry", digestRun(resH))
+
+	// Scenario leg: one library scenario end-to-end — the phase merge,
+	// per-phase seeded generators, overlay anchoring, stream tagging,
+	// and fault-offset rebasing must all reproduce byte-for-byte.
+	scVDI, ok := scenario.Lookup("vdi-boot-storm")
+	if !ok {
+		t.Fatal("scenario leg: vdi-boot-storm missing from library")
+	}
+	resSC, err := RunScenario(tpmCong, scVDI.Build(7, 60), 7, netsim.CCDCQCN, mods...)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	put("scenario", resSC)
 
 	// In-band control-plane leg: the lossy/reordering control channel,
 	// a primary crash, and the standby takeover. The channel RNG is

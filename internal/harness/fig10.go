@@ -26,7 +26,7 @@ const fig10RateScale = 0.35
 // Fig10Trace builds one intensity workload: the paper's request sizes
 // (22/32/44 KB) at rates scaled to the harness link calibration, equal
 // read and write streams. seconds controls the trace length.
-func Fig10Trace(level workload.IntensityLevel, seconds float64, seed uint64) *trace.Trace {
+func Fig10Trace(level workload.IntensityLevel, seconds float64, seed uint64) (*trace.Trace, error) {
 	var size int
 	var ratePerMS float64
 	switch level {
@@ -65,7 +65,10 @@ func Fig10Intensity(tpm *core.TPM, seconds float64, seed uint64, mods ...func(*c
 func Fig10IntensityCC(tpm *core.TPM, seconds float64, seed uint64, cc netsim.CCAlg, mods ...func(*cluster.Spec)) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, level := range []workload.IntensityLevel{workload.Light, workload.Moderate, workload.Heavy} {
-		tr := Fig10Trace(level, seconds, seed+uint64(level))
+		tr, err := Fig10Trace(level, seconds, seed+uint64(level))
+		if err != nil {
+			return nil, fmt.Errorf("harness: Fig10 %v: %w", level, err)
+		}
 		spec := CongestionSpec()
 		spec.Net.CC = cc
 		base, src, err := cluster.CompareModes(spec, tpm, tr, nil, mods...)

@@ -40,7 +40,11 @@ func Fig5WeightSweep(cfg ssd.Config, ws []int, count int, seed uint64) ([]Fig5Ce
 	err := pool.Pool{}.ForEach(len(jobs), func(ji int) error {
 		j := jobs[ji]
 		spec := specs[j.si]
-		res, err := devrun.Run(cfg, spec.Trace(), ws[j.wi])
+		tr, err := spec.Trace()
+		if err != nil {
+			return err
+		}
+		res, err := devrun.Run(cfg, tr, ws[j.wi])
 		if err != nil {
 			return err
 		}

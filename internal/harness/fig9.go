@@ -99,7 +99,10 @@ func Fig9DynamicControl(tpm *core.TPM, events []RateEvent, horizon sim.Time, see
 		Count:        count,
 		Seed:         seed,
 	}
-	tr := spec.Trace()
+	tr, err := spec.Trace()
+	if err != nil {
+		return nil, err
+	}
 
 	eng := sim.NewEngine()
 	ssq := nvme.NewSSQ(1, 1)

@@ -364,5 +364,5 @@ func TestFig10TracePanicsOnBadLevel(t *testing.T) {
 			t.Fatal("bad level should panic")
 		}
 	}()
-	Fig10Trace(workload.IntensityLevel(99), 0.01, 1)
+	Fig10Trace(workload.IntensityLevel(99), 0.01, 1) //nolint:errcheck // panics before returning
 }

@@ -647,7 +647,7 @@ func init() {
 		TPM:   TPMCongestion,
 		Params: []Param{
 			{Name: "file", Default: "", Help: "trace file path (required)"},
-			{Name: "format", Default: "csv", Help: "trace format: csv (tracegen) | msr (MSR Cambridge / SNIA)"},
+			{Name: "format", Default: "csv", Help: "trace format: csv (tracegen) | msr (MSR Cambridge / SNIA) | jsonl (open trace format)"},
 			{Name: "cc", Default: "dcqcn", Help: ccParamHelp()},
 		},
 		Run: func(env *Env, p Params) (*Output, error) {
@@ -693,8 +693,10 @@ func loadTrace(path, format string) (*trace.Trace, error) {
 		return trace.ReadCSV(f)
 	case "msr":
 		return trace.ReadMSR(f)
+	case "jsonl":
+		return trace.ReadJSONL(f)
 	default:
-		return nil, fmt.Errorf("harness: unknown trace format %q (want csv or msr)", format)
+		return nil, fmt.Errorf("harness: unknown trace format %q (want csv, msr, or jsonl)", format)
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 func TestRegistryListing(t *testing.T) {
 	want := []string{"fig2", "fig5", "fig7", "fig9", "fig10", "table4", "chaos-soak",
 		"adapt-aging", "adapt-phase", "adapt-failover",
-		"ctrl-degradation", "ctrl-failover", "cc-matrix", "replay"}
+		"ctrl-degradation", "ctrl-failover", "cc-matrix", "replay", "scenario"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)

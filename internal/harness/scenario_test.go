@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srcsim/internal/netsim"
+	"srcsim/internal/scenario"
+	"srcsim/internal/trace"
+)
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	tpmCong, _ := testTPMs(t)
+	sc, ok := scenario.Lookup("vdi-boot-storm")
+	if !ok {
+		t.Fatal("vdi-boot-storm missing from library")
+	}
+	a, err := RunScenario(tpmCong, sc.Build(7, 80), 7, netsim.CCDCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(tpmCong, sc.Build(7, 80), 7, netsim.CCDCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("scenario rerun diverged:\n%s\n%s", ja, jb)
+	}
+	if a.Requests == 0 || len(a.Phases) != 2 {
+		t.Fatalf("unexpected shape: %d requests, %d phases", a.Requests, len(a.Phases))
+	}
+	for _, ret := range []float64{a.RetentionOff, a.RetentionOn} {
+		if ret <= 0 || ret > 1 {
+			t.Fatalf("retention out of (0,1]: off=%v on=%v", a.RetentionOff, a.RetentionOn)
+		}
+	}
+	if max := math.Max(a.RetentionOff, a.RetentionOn); max != 1 {
+		t.Fatalf("best mode should normalise to 1, got %v", max)
+	}
+
+	var buf bytes.Buffer
+	FprintScenario(&buf, a)
+	out := buf.String()
+	for _, want := range []string{"vdi-boot-storm", "steady-desktops", "boot-storm", "overlay", "DCQCN-SRC", "retention"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScenarioWithFaults(t *testing.T) {
+	tpmCong, _ := testTPMs(t)
+	sc, ok := scenario.Lookup("gc-write-flood")
+	if !ok {
+		t.Fatal("gc-write-flood missing from library")
+	}
+	res, err := RunScenario(tpmCong, sc.Build(7, 60), 7, netsim.CCDCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultEvents != 2 {
+		t.Fatalf("fault events = %d, want 2", res.FaultEvents)
+	}
+	if res.Baseline.Summary.AggregatedGbps <= 0 || res.SRC.Summary.AggregatedGbps <= 0 {
+		t.Fatalf("zero throughput: %+v / %+v", res.Baseline.Summary, res.SRC.Summary)
+	}
+}
+
+// TestScenarioJSONLRefitRoundTrip proves the full ingest loop: a
+// compiled scenario trace exported as JSONL, read back through the
+// strict decoder, refit to a synthetic model via a trace-ref phase, and
+// re-run on the testbed. The refit run must carry the spec's request
+// budget and produce a throughput within the same order of magnitude
+// as the original — refitting replaces the exact arrivals with an
+// MMPP/lognormal model, so only coarse agreement is contractual.
+func TestScenarioJSONLRefitRoundTrip(t *testing.T) {
+	tpmCong, _ := testTPMs(t)
+	sc, ok := scenario.Lookup("ai-checkpoint-burst")
+	if !ok {
+		t.Fatal("ai-checkpoint-burst missing from library")
+	}
+	spec := sc.Build(7, 80)
+	orig, err := RunScenario(tpmCong, spec, 7, netsim.CCDCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp, err := spec.Compile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, comp.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode back and confirm the export is faithful before refitting.
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := trace.ReadJSONL(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != comp.Trace.Len() {
+		t.Fatalf("round-trip length %d != %d", rt.Len(), comp.Trace.Len())
+	}
+
+	refit := &scenario.Spec{
+		Name: "refit-replay",
+		Seed: 7,
+		Phases: []scenario.Phase{{
+			Name:  "refit",
+			Trace: &scenario.TraceRef{Path: path, Format: "jsonl", Refit: true},
+		}},
+	}
+	res, err := RunScenario(tpmCong, refit, 7, netsim.CCDCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("refit run produced no requests")
+	}
+	oa := orig.Baseline.Summary.AggregatedGbps
+	ra := res.Baseline.Summary.AggregatedGbps
+	if ra <= 0 {
+		t.Fatalf("refit throughput %v", ra)
+	}
+	if ratio := ra / oa; ratio < 0.2 || ratio > 5 {
+		t.Fatalf("refit throughput %v Gbps too far from original %v Gbps", ra, oa)
+	}
+}
+
+func TestScenarioExperimentRegistered(t *testing.T) {
+	exp, ok := LookupExperiment("scenario")
+	if !ok {
+		t.Fatal("scenario experiment not registered")
+	}
+	if exp.TPM != TPMCongestion {
+		t.Fatalf("scenario TPM kind %v", exp.TPM)
+	}
+	var names []string
+	for _, p := range exp.Params {
+		names = append(names, p.Name)
+	}
+	for _, want := range []string{"name", "file", "requests", "seed", "cc"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scenario experiment missing param %q (have %v)", want, names)
+		}
+	}
+}

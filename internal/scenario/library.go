@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"srcsim/internal/faults"
+	"srcsim/internal/sim"
+)
+
+// LibraryScenario is one built-in scenario: a builder parameterised by
+// seed and a request-scale knob, so the experiment registry and the
+// sweep orchestrator can size it like any other experiment.
+type LibraryScenario struct {
+	Name  string
+	Title string
+	// Build constructs the spec. requests is the base per-direction
+	// request count of the dominant phase; other phases scale from it.
+	Build func(seed uint64, requests int) *Spec
+}
+
+// library lists the built-in scenarios in listing order. Fault events
+// use only device-level kinds (ssd-slow, target-stall) so every
+// scenario runs without arming retry policies; the congestion testbed
+// (CongestionSpec) has one initiator and two targets on 10 Gbps links.
+// Phase knobs keep offered loads in the moderately congested regime of
+// the Fig. 7 operating point (reads ~2-4x link speed, writes around
+// link speed) — far enough past capacity to exercise congestion
+// control, close enough that completions land inside the measurement
+// window. SRC-on vs SRC-off differentiation needs sustained contention,
+// so scenarios are sized for base request counts around 800-1600.
+var library = []LibraryScenario{
+	{
+		Name:  "vdi-boot-storm",
+		Title: "steady VDI desktops + synchronized boot-storm read burst overlay",
+		Build: func(seed uint64, requests int) *Spec {
+			return &Spec{
+				Name: "vdi-boot-storm",
+				Seed: seed,
+				Phases: []Phase{
+					{
+						Name:     "steady-desktops",
+						Workload: &WorkloadRef{Kind: KindVDI, Count: requests},
+					},
+					{
+						Name:    "boot-storm",
+						Overlay: true,
+						StartMS: 1,
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests / 2, ReadIAUS: 8, ReadSize: 48 << 10,
+						},
+					},
+				},
+			}
+		},
+	},
+	{
+		Name:  "ai-checkpoint-burst",
+		Title: "training reads interrupted by a bursty checkpoint write flood",
+		Build: func(seed uint64, requests int) *Spec {
+			return &Spec{
+				Name: "ai-checkpoint-burst",
+				Seed: seed,
+				Phases: []Phase{
+					{
+						Name: "training-read",
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests / 2, ReadIAUS: 8, ReadSize: 32 << 10,
+						},
+					},
+					{
+						// Checkpointing does not stop inference reads; the
+						// phase carries both so the write burst contends with
+						// read traffic the way Fig. 7's mixed window does.
+						Name: "checkpoint",
+						Workload: &WorkloadRef{
+							Kind:  KindSynthetic,
+							Reads: requests / 2, ReadIAUS: 16, ReadSize: 32 << 10,
+							Writes: requests, WriteIAUS: 16, WriteSize: 64 << 10,
+							IASCV: 4, SizeSCV: 1.5, ACF1: 0.2,
+						},
+					},
+					{
+						Name: "training-resume",
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests / 2, ReadIAUS: 8, ReadSize: 32 << 10,
+						},
+					},
+				},
+			}
+		},
+	},
+	{
+		Name:  "backup-scan",
+		Title: "large sequential backup reads overlaid on CBS-like OLTP traffic",
+		Build: func(seed uint64, requests int) *Spec {
+			return &Spec{
+				Name: "backup-scan",
+				Seed: seed,
+				Phases: []Phase{
+					{
+						Name:     "oltp",
+						Workload: &WorkloadRef{Kind: KindCBS, Count: requests},
+					},
+					{
+						Name:    "scan",
+						Overlay: true,
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests / 2, ReadIAUS: 40, ReadSize: 128 << 10,
+						},
+					},
+				},
+			}
+		},
+	},
+	{
+		Name:  "failover-rehydration",
+		Title: "target stall mid-run, then a read-heavy cache-rehydration flood",
+		Build: func(seed uint64, requests int) *Spec {
+			return &Spec{
+				Name: "failover-rehydration",
+				Seed: seed,
+				Phases: []Phase{
+					{
+						Name: "normal",
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests, Writes: requests,
+							ReadIAUS: 10, WriteIAUS: 10,
+							ReadSize: 44 << 10, WriteSize: 23 << 10,
+						},
+						Faults: []faults.Event{{
+							At: 2 * sim.Millisecond, Kind: faults.TargetStall,
+							Where: "target:0", Duration: 2 * sim.Millisecond,
+						}},
+					},
+					{
+						// Rehydration reads refill the cache while foreground
+						// writes continue at a trickle.
+						Name: "rehydration",
+						Workload: &WorkloadRef{
+							Kind:  KindMicro,
+							Reads: requests, ReadIAUS: 16, ReadSize: 64 << 10,
+							Writes: requests / 4, WriteIAUS: 40, WriteSize: 16 << 10,
+						},
+					},
+				},
+			}
+		},
+	},
+	{
+		Name:  "gc-write-flood",
+		Title: "write-dominant flood with GC-like slow-device windows on both targets",
+		Build: func(seed uint64, requests int) *Spec {
+			return &Spec{
+				Name: "gc-write-flood",
+				Seed: seed,
+				Phases: []Phase{
+					{
+						Name: "write-flood",
+						Workload: &WorkloadRef{
+							Kind:  KindSynthetic,
+							Reads: requests, Writes: requests,
+							ReadIAUS: 10, WriteIAUS: 14,
+							ReadSize: 44 << 10, WriteSize: 32 << 10,
+							IASCV: 5, SizeSCV: 2, ACF1: 0.25,
+						},
+						Faults: []faults.Event{
+							{
+								At: 2 * sim.Millisecond, Kind: faults.SSDSlow,
+								Where: "target:0", Duration: 4 * sim.Millisecond, Factor: 3,
+							},
+							{
+								At: 6 * sim.Millisecond, Kind: faults.SSDSlow,
+								Where: "target:1", Duration: 4 * sim.Millisecond, Factor: 3,
+							},
+						},
+					},
+				},
+			}
+		},
+	},
+}
+
+// Library returns the built-in scenarios in listing order. The
+// returned slice is shared; do not mutate it.
+func Library() []LibraryScenario { return library }
+
+// Lookup finds a built-in scenario by name.
+func Lookup(name string) (LibraryScenario, bool) {
+	for _, sc := range library {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return LibraryScenario{}, false
+}
+
+// Names returns the built-in scenario names in listing order.
+func Names() []string {
+	names := make([]string, len(library))
+	for i, sc := range library {
+		names[i] = sc.Name
+	}
+	return names
+}

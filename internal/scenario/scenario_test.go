@@ -1,0 +1,468 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srcsim/internal/faults"
+	"srcsim/internal/sim"
+	"srcsim/internal/trace"
+	"srcsim/internal/workload"
+)
+
+// twoPhase is a minimal valid sequential spec.
+func twoPhase() *Spec {
+	return &Spec{
+		Name: "t",
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "a", Workload: &WorkloadRef{Kind: KindMicro, Reads: 100, ReadIAUS: 10, ReadSize: 8 << 10}},
+			{Name: "b", Workload: &WorkloadRef{Kind: KindMicro, Writes: 100, WriteIAUS: 10, WriteSize: 8 << 10}},
+		},
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	micro := &WorkloadRef{Kind: KindMicro, Reads: 10, ReadIAUS: 10, ReadSize: 4096}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"missing name", func(s *Spec) { s.Name = "" }, "missing name"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "no phases"},
+		{"unnamed phase", func(s *Spec) { s.Phases[0].Name = "" }, "missing name"},
+		{"duplicate phase", func(s *Spec) { s.Phases[1].Name = "a" }, "duplicate phase"},
+		{"first overlay", func(s *Spec) { s.Phases[0].Overlay = true }, "first phase cannot be an overlay"},
+		{"start_ms on sequential", func(s *Spec) { s.Phases[1].StartMS = 2 }, "only meaningful on overlay"},
+		{"negative duration", func(s *Spec) { s.Phases[0].DurationMS = -1 }, "negative start_ms/duration_ms"},
+		{"negative requests", func(s *Spec) { s.Phases[0].Requests = -5 }, "negative requests"},
+		{"negative intensity", func(s *Spec) { s.Phases[0].Intensity = -2 }, "negative intensity"},
+		{"both refs", func(s *Spec) { s.Phases[0].Trace = &TraceRef{Path: "x"} }, "exactly one of workload and trace"},
+		{"neither ref", func(s *Spec) { s.Phases[0].Workload = nil }, "exactly one of workload and trace"},
+		{"unknown kind", func(s *Spec) { s.Phases[0].Workload = &WorkloadRef{Kind: "nope", Reads: 1} }, "unknown kind"},
+		{"missing kind", func(s *Spec) { s.Phases[0].Workload = &WorkloadRef{Reads: 1} }, "missing kind"},
+		{"vdi without count", func(s *Spec) { s.Phases[0].Workload = &WorkloadRef{Kind: KindVDI} }, "positive count"},
+		{"vdi with micro knobs", func(s *Spec) {
+			s.Phases[0].Workload = &WorkloadRef{Kind: KindVDI, Count: 10, Reads: 5}
+		}, "presets take only count"},
+		{"micro with count", func(s *Spec) {
+			s.Phases[0].Workload = &WorkloadRef{Kind: KindMicro, Count: 5, Reads: 10, ReadIAUS: 1, ReadSize: 4096}
+		}, "count is a vdi/cbs knob"},
+		{"micro no streams", func(s *Spec) { s.Phases[0].Workload = &WorkloadRef{Kind: KindMicro} }, "needs reads or writes"},
+		{"micro read missing size", func(s *Spec) {
+			s.Phases[0].Workload = &WorkloadRef{Kind: KindMicro, Reads: 10, ReadIAUS: 1}
+		}, "read stream needs"},
+		{"micro with scv", func(s *Spec) {
+			s.Phases[0].Workload = &WorkloadRef{Kind: KindMicro, Reads: 10, ReadIAUS: 1, ReadSize: 4096, IASCV: 4}
+		}, "synthetic knobs"},
+		{"synthetic sub-1 scv", func(s *Spec) {
+			s.Phases[0].Workload = &WorkloadRef{Kind: KindSynthetic, Reads: 10, ReadIAUS: 1, ReadSize: 4096, IASCV: 0.5}
+		}, "ia_scv"},
+		{"trace missing path", func(s *Spec) {
+			s.Phases[0].Workload = nil
+			s.Phases[0].Trace = &TraceRef{}
+		}, "missing path"},
+		{"trace bad format", func(s *Spec) {
+			s.Phases[0].Workload = nil
+			s.Phases[0].Trace = &TraceRef{Path: "x", Format: "xml"}
+		}, "unknown format"},
+		{"bad fault event", func(s *Spec) {
+			s.Phases[0].Faults = []faults.Event{{Kind: faults.SSDSlow, Where: "nowhere", Factor: 2}}
+		}, "where"},
+		{"micro knobs on validate", func(s *Spec) { _ = micro }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := twoPhase()
+			tc.mut(s)
+			err := s.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"name":"x","phases":[{"name":"p","workload":{"kind":"micro","reads":10,"read_ia_us":10,"read_size":4096},"typo":1}]}`)); err == nil {
+		t.Fatal("unknown phase field accepted")
+	}
+	s, err := ParseSpec(strings.NewReader(`{"name":"x","phases":[{"name":"p","workload":{"kind":"vdi","count":50}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases[0].Workload.Count != 50 {
+		t.Fatalf("parsed %+v", s.Phases[0].Workload)
+	}
+}
+
+func TestCompileSequentialTimeline(t *testing.T) {
+	s := twoPhase()
+	// 100 reads at 10 us mean IA span ~1 ms; a 0.5 ms budget must cut.
+	s.Phases[0].DurationMS = 0.5
+	c, err := s.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Phases) != 2 {
+		t.Fatalf("windows %d", len(c.Phases))
+	}
+	a, b := c.Phases[0], c.Phases[1]
+	if a.Start != 0 || a.End != sim.Millisecond/2 {
+		t.Fatalf("phase a window %v..%v", a.Start, a.End)
+	}
+	if b.Start != a.End {
+		t.Fatalf("phase b starts at %v, want %v", b.Start, a.End)
+	}
+	// Stream tags partition the merged trace at the phase boundary.
+	for _, r := range c.Trace.Requests {
+		switch {
+		case r.Arrival < a.End && r.Stream != "a":
+			t.Fatalf("request at %v tagged %q", r.Arrival, r.Stream)
+		case r.Arrival >= b.Start && r.Stream != "b":
+			t.Fatalf("request at %v tagged %q", r.Arrival, r.Stream)
+		}
+	}
+	// The duration budget dropped phase a requests past 2 ms.
+	if a.Requests >= 100 {
+		t.Fatalf("duration budget did not cut: %d requests", a.Requests)
+	}
+	// IDs sequential after merge.
+	for i, r := range c.Trace.Requests {
+		if r.ID != uint64(i) {
+			t.Fatalf("ID %d at index %d", r.ID, i)
+		}
+	}
+}
+
+func TestCompileOverlayAnchoring(t *testing.T) {
+	s := twoPhase()
+	s.Phases[1].Workload.Writes = 300 // phase b spans ~3 ms
+	s.Phases = append(s.Phases, Phase{
+		Name: "c", Overlay: true, StartMS: 1,
+		Workload: &WorkloadRef{Kind: KindMicro, Reads: 50, ReadIAUS: 10, ReadSize: 8 << 10},
+	})
+	c, err := s.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ov := c.Phases[1], c.Phases[2]
+	if !ov.Overlay {
+		t.Fatal("overlay flag lost")
+	}
+	// The overlay anchors to phase b's start (the most recent
+	// sequential phase), offset by start_ms.
+	if want := b.Start + sim.Millisecond; ov.Start != want {
+		t.Fatalf("overlay start %v, want %v", ov.Start, want)
+	}
+	// Overlay and anchor phases interleave in time.
+	overlap := c.Trace.Window(ov.Start, b.End)
+	streams := map[string]bool{}
+	for _, r := range overlap.Requests {
+		streams[r.Stream] = true
+	}
+	if !streams["b"] || !streams["c"] {
+		t.Fatalf("no interleaving in overlap window: %v", streams)
+	}
+}
+
+func TestCompileIntensityScalesRate(t *testing.T) {
+	s := twoPhase()
+	base, err := s.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := twoPhase()
+	s2.Phases[0].Intensity = 2
+	s2.Phases[1].Intensity = 2
+	fast, err := s2.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Trace.Len() != base.Trace.Len() {
+		t.Fatalf("intensity changed request count: %d vs %d", fast.Trace.Len(), base.Trace.Len())
+	}
+	ratio := float64(base.Trace.Duration()) / float64(fast.Trace.Duration())
+	if math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("intensity 2 compressed time by %.2fx, want ~2x", ratio)
+	}
+}
+
+func TestCompileRequestBudget(t *testing.T) {
+	s := twoPhase()
+	s.Phases[0].Requests = 10
+	c, err := s.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Phases[0].Requests != 10 {
+		t.Fatalf("request budget not applied: %d", c.Phases[0].Requests)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, err := twoPhase().Compile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := twoPhase().Compile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Trace.Requests {
+		if a.Trace.Requests[i] != b.Trace.Requests[i] {
+			t.Fatalf("request %d differs between identical compiles", i)
+		}
+	}
+	c, err := twoPhase().Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Trace.Requests {
+		if a.Trace.Requests[i] != c.Trace.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}
+
+func TestCompileFaultOffsets(t *testing.T) {
+	s := twoPhase()
+	s.Phases[0].DurationMS = 2
+	s.Phases[1].Faults = []faults.Event{{
+		At: sim.Millisecond, Kind: faults.TargetStall,
+		Where: "target:0", Duration: sim.Millisecond,
+	}}
+	c, err := s.Compile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Faults == nil || len(c.Faults.Events) != 1 {
+		t.Fatal("fault schedule missing")
+	}
+	// Phase b starts at 2 ms; its 1 ms-relative event lands at 3 ms.
+	if want := 3 * sim.Millisecond; c.Faults.Events[0].At != want {
+		t.Fatalf("event at %v, want %v", c.Faults.Events[0].At, want)
+	}
+}
+
+func TestCompileRejectsCrossPhaseFaultOverlap(t *testing.T) {
+	s := twoPhase()
+	// Phase a's window persists past phase b's start: same kind + selector
+	// overlapping in absolute time must fail schedule validation.
+	s.Phases[0].DurationMS = 1
+	s.Phases[0].Faults = []faults.Event{{
+		At: 0, Kind: faults.SSDSlow, Where: "target:0",
+		Duration: 5 * sim.Millisecond, Factor: 2,
+	}}
+	s.Phases[1].Faults = []faults.Event{{
+		At: 0, Kind: faults.SSDSlow, Where: "target:0",
+		Duration: sim.Millisecond, Factor: 3,
+	}}
+	if _, err := s.Compile(0); err == nil {
+		t.Fatal("overlapping cross-phase windows accepted")
+	} else if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCompileEmptyTraceRejected(t *testing.T) {
+	s := twoPhase()
+	s.Phases[0].DurationMS = 0.000001
+	s.Phases[1].DurationMS = 0.000001
+	if _, err := s.Compile(0); err == nil {
+		t.Fatal("empty compiled trace accepted")
+	}
+}
+
+func TestCompileTraceRefReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.jsonl")
+	src := &trace.Trace{Requests: []trace.Request{
+		{ID: 0, Op: trace.Read, LBA: 0, Size: 8192, Arrival: 500},
+		{ID: 1, Op: trace.Write, LBA: 8192, Size: 4096, Arrival: 1500},
+	}}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := &Spec{
+		Name: "replay",
+		Phases: []Phase{{
+			Name:  "file",
+			Trace: &TraceRef{Path: path},
+		}},
+	}
+	c, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace.Len() != 2 {
+		t.Fatalf("len %d", c.Trace.Len())
+	}
+	// Rebased: the first arrival moves to phase start (0).
+	if c.Trace.Requests[0].Arrival != 0 || c.Trace.Requests[1].Arrival != 1000 {
+		t.Fatalf("not rebased: %+v", c.Trace.Requests)
+	}
+	if c.Trace.Requests[0].Stream != "file" {
+		t.Fatalf("stream tag %q", c.Trace.Requests[0].Stream)
+	}
+}
+
+func TestFitReproducesStatistics(t *testing.T) {
+	src, err := workload.Synthetic(workload.SyntheticConfig{
+		Seed:      3,
+		ReadCount: 20000, WriteCount: 20000,
+		ReadInterArrival: 10 * sim.Microsecond, WriteInterArrival: 20 * sim.Microsecond,
+		ReadInterArrivalSCV: 4, WriteInterArrivalSCV: 4,
+		ReadACF1: 0.2, WriteACF1: 0.2,
+		ReadMeanSize: 44 << 10, WriteMeanSize: 23 << 10,
+		ReadSizeSCV: 1.5, WriteSizeSCV: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Fit(src, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 {
+		t.Fatalf("seed %d", cfg.Seed)
+	}
+	relerr := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	if relerr(float64(cfg.ReadInterArrival), float64(10*sim.Microsecond)) > 0.15 {
+		t.Fatalf("fitted read IA %v", cfg.ReadInterArrival)
+	}
+	if cfg.ReadInterArrivalSCV < 2 {
+		t.Fatalf("fitted read IA SCV %v, want bursty", cfg.ReadInterArrivalSCV)
+	}
+	if cfg.ReadACF1 <= 0 || cfg.ReadACF1 > 0.45 {
+		t.Fatalf("fitted ACF1 %v outside (0, 0.45]", cfg.ReadACF1)
+	}
+	// Feasibility: the clamp keeps (scv, acf1) inside FitMMPP2's region.
+	if lim := (cfg.ReadInterArrivalSCV - 1) / (2 * cfg.ReadInterArrivalSCV); cfg.ReadACF1 > lim+1e-9 {
+		t.Fatalf("ACF1 %v beyond feasible %v", cfg.ReadACF1, lim)
+	}
+	// Regenerating from the fit reproduces the statistics.
+	regen, err := workload.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, rs := trace.Extract(src), trace.Extract(regen)
+	if relerr(rs.Read.MeanSize, ss.Read.MeanSize) > 0.15 {
+		t.Fatalf("regen read size %v vs %v", rs.Read.MeanSize, ss.Read.MeanSize)
+	}
+	if relerr(rs.Read.MeanInterArrival, ss.Read.MeanInterArrival) > 0.15 {
+		t.Fatalf("regen read IA %v vs %v", rs.Read.MeanInterArrival, ss.Read.MeanInterArrival)
+	}
+}
+
+func TestFitEmptyTrace(t *testing.T) {
+	if _, err := Fit(&trace.Trace{}, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestFitSubExponentialClampsToExponential(t *testing.T) {
+	// Near-constant arrivals: SCV << 1 must clamp to 1 (the exponential
+	// path of workload.Synthetic), not fail the MMPP fit.
+	reqs := make([]trace.Request, 1000)
+	for i := range reqs {
+		reqs[i] = trace.Request{ID: uint64(i), Op: trace.Read, Size: 4096, Arrival: sim.Time(i) * 1000}
+	}
+	cfg, err := Fit(&trace.Trace{Requests: reqs}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReadInterArrivalSCV != 1 || cfg.ReadACF1 != 0 {
+		t.Fatalf("clamp failed: scv=%v acf1=%v", cfg.ReadInterArrivalSCV, cfg.ReadACF1)
+	}
+	if _, err := workload.Synthetic(cfg); err != nil {
+		t.Fatalf("refit config not regenerable: %v", err)
+	}
+}
+
+func TestLibraryScenariosCompile(t *testing.T) {
+	if len(Library()) < 5 {
+		t.Fatalf("library has %d scenarios", len(Library()))
+	}
+	for _, sc := range Library() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			spec := sc.Build(7, 120)
+			if spec.Name != sc.Name {
+				t.Fatalf("spec name %q", spec.Name)
+			}
+			c, err := spec.Compile(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Trace.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+			// Byte-determinism of the compiled trace across rebuilds.
+			c2, err := sc.Build(7, 120).Compile(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			if err := trace.WriteJSONL(&a, c.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteJSONL(&b, c2.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("library scenario not byte-deterministic")
+			}
+		})
+	}
+	if _, ok := Lookup("vdi-boot-storm"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if len(Names()) != len(Library()) {
+		t.Fatal("names/library mismatch")
+	}
+}
+
+func TestPhaseSeedIndependence(t *testing.T) {
+	if phaseSeed(1, "a") == phaseSeed(1, "b") {
+		t.Fatal("phase seeds collide across names")
+	}
+	if phaseSeed(1, "a") == phaseSeed(2, "a") {
+		t.Fatal("phase seeds collide across masters")
+	}
+	if phaseSeed(1, "a") != phaseSeed(1, "a") {
+		t.Fatal("phase seed not stable")
+	}
+}

@@ -235,11 +235,14 @@ func TestCMTThrashingLowersHitRate(t *testing.T) {
 	cfg.CMTBytes = 8 * 64 // only 64 mapping entries
 	arb := nvme.NewSSQ(1, 1)
 	eng, dev := testDevice(t, cfg, arb)
-	tr := workload.Micro(workload.MicroConfig{
+	tr, err := workload.Micro(workload.MicroConfig{
 		Seed: 3, ReadCount: 2000,
 		ReadInterArrival: 100 * sim.Microsecond, ReadMeanSize: 16 << 10,
 		AddressSpace: 2 << 30,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	driveTrace(eng, dev, arb, tr)
 	if hr := dev.CMTHitRate(); hr > 0.2 {
 		t.Fatalf("tiny CMT hit rate %v, want thrashing", hr)
@@ -355,12 +358,15 @@ func TestDeterministicCompletionTimes(t *testing.T) {
 	run := func() map[uint64]sim.Time {
 		arb := nvme.NewSSQ(1, 2)
 		eng, dev := testDevice(t, ConfigB(), arb)
-		tr := workload.Micro(workload.MicroConfig{
+		tr, err := workload.Micro(workload.MicroConfig{
 			Seed: 42, ReadCount: 800, WriteCount: 800,
 			ReadInterArrival: 20 * sim.Microsecond, WriteInterArrival: 20 * sim.Microsecond,
 			ReadMeanSize: 16 << 10, WriteMeanSize: 16 << 10,
 			AddressSpace: 1 << 30,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return driveTrace(eng, dev, arb, tr)
 	}
 	a, b := run(), run()

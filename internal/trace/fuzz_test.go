@@ -33,6 +33,59 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+// FuzzTraceJSONL: the open-format decoder must never panic; every
+// accepted trace must satisfy the package invariants (positive sizes,
+// non-negative arrivals, file-ordered IDs) and survive a write -> read
+// round trip unchanged — the JSONL writer and decoder are the public
+// ingest boundary of the scenario toolchain.
+func FuzzTraceJSONL(f *testing.F) {
+	hdr := "{\"format\":\"srcsim-trace\",\"version\":1}\n"
+	f.Add(hdr)
+	f.Add(hdr + "{\"ts_ns\":0,\"op\":\"R\",\"lba\":4096,\"size\":8192,\"stream\":\"vol0\"}\n")
+	f.Add(hdr + "{\"ts_ns\":1350,\"op\":\"W\",\"lba\":0,\"size\":4096,\"initiator\":1,\"target\":1}\n")
+	f.Add(hdr + "{\"ts_ns\":-1,\"op\":\"R\",\"lba\":0,\"size\":1}\n")
+	f.Add(hdr + "{\"ts_ns\":0,\"op\":\"X\",\"lba\":0,\"size\":1}\n")
+	f.Add(hdr + "{\"ts_ns\":0,\"op\":\"R\",\"lba\":0,\"size\":0}\n")
+	f.Add(hdr + "{\"ts_ns\":0,\"op\":\"R\",\"lba\":0,\"size\":1,\"bogus\":2}\n")
+	f.Add("{\"format\":\"srcsim-trace\",\"version\":99}\n")
+	f.Add("{\"format\":\"other\",\"version\":1}\n")
+	f.Add("")
+	f.Add("not json at all\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSONL(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range tr.Requests {
+			if r.Size <= 0 {
+				t.Fatalf("request %d accepted with size %d", i, r.Size)
+			}
+			if r.Arrival < 0 {
+				t.Fatalf("request %d accepted with negative arrival %v", i, r.Arrival)
+			}
+			if r.ID != uint64(i) {
+				t.Fatalf("request %d has ID %d", i, r.ID)
+			}
+		}
+		var buf strings.Builder
+		if err := WriteJSONL(&buf, tr); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		rt, err := ReadJSONL(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(rt.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip lost requests: %d -> %d", len(tr.Requests), len(rt.Requests))
+		}
+		for i := range tr.Requests {
+			if rt.Requests[i] != tr.Requests[i] {
+				t.Fatalf("round trip changed request %d: %+v -> %+v", i, tr.Requests[i], rt.Requests[i])
+			}
+		}
+	})
+}
+
 // FuzzReadMSR: the MSR reader must never panic, and every accepted
 // trace must be sorted with non-negative arrivals and positive sizes.
 func FuzzReadMSR(f *testing.F) {

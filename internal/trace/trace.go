@@ -45,6 +45,11 @@ type Request struct {
 	// multi-node cluster traces; both are zero for single-device traces.
 	Initiator int
 	Target    int
+	// Stream is an optional volume/stream tag carried by the open JSONL
+	// trace format and stamped by the scenario compiler (the phase each
+	// request came from). Empty for untagged traces; ignored by the CSV
+	// and MSR codecs.
+	Stream string
 }
 
 // End returns the byte offset one past the last accessed byte.
@@ -127,6 +132,30 @@ func (t *Trace) ScaleTime(factor float64) *Trace {
 		out.Requests[i].Arrival = sim.Time(float64(out.Requests[i].Arrival) * factor)
 	}
 	return out
+}
+
+// ShiftTime returns a copy of the trace with every arrival offset by
+// delta (the scenario compiler places a phase on the composed timeline
+// with it). It panics if any shifted arrival would be negative.
+func (t *Trace) ShiftTime(delta sim.Time) *Trace {
+	out := &Trace{Requests: append([]Request(nil), t.Requests...)}
+	for i := range out.Requests {
+		a := out.Requests[i].Arrival + delta
+		if a < 0 {
+			panic(fmt.Sprintf("trace: shift by %v makes arrival %v negative", delta, out.Requests[i].Arrival))
+		}
+		out.Requests[i].Arrival = a
+	}
+	return out
+}
+
+// Rebase returns a copy of the trace with arrivals rebased so the first
+// request (in time order) arrives at 0. The trace must be sorted.
+func (t *Trace) Rebase() *Trace {
+	if len(t.Requests) == 0 {
+		return &Trace{}
+	}
+	return t.ShiftTime(-t.Requests[0].Arrival)
 }
 
 // TotalBytes returns the sum of request sizes.

@@ -125,7 +125,7 @@ func (l IntensityLevel) String() string {
 // Intensity returns the paper's Fig. 10 micro workloads: light (22 KB at
 // 60 req/ms), moderate (32 KB at 80 req/ms), heavy (44 KB at 100 req/ms),
 // per direction.
-func Intensity(level IntensityLevel, seed uint64, count int) *trace.Trace {
+func Intensity(level IntensityLevel, seed uint64, count int) (*trace.Trace, error) {
 	var size int
 	var ratePerMS float64
 	switch level {

@@ -52,8 +52,11 @@ type Config struct {
 	RNG *sim.RNG
 }
 
-// Generate produces a merged, time-ordered trace from cfg.
-func Generate(cfg Config) *trace.Trace {
+// Generate produces a merged, time-ordered trace from cfg. A sampler
+// that emits a non-positive size violates the dist.Sampler contract;
+// Generate rejects it with an error naming the offending stream and
+// request index rather than silently rounding it up to Block.
+func Generate(cfg Config) (*trace.Trace, error) {
 	if cfg.RNG == nil {
 		panic("workload: Config.RNG is required")
 	}
@@ -66,10 +69,16 @@ func Generate(cfg Config) *trace.Trace {
 	if cfg.MaxSize <= 0 {
 		cfg.MaxSize = 1 << 20
 	}
+	// Clamp ceiling on the Block grid so rounding up can never push a
+	// request past MaxSize (a sub-Block MaxSize still yields one block).
+	maxSize := cfg.MaxSize / Block * Block
+	if maxSize < Block {
+		maxSize = Block
+	}
 	out := &trace.Trace{}
-	genDir := func(sc StreamConfig, op trace.Op) {
+	genDir := func(sc StreamConfig, op trace.Op) error {
 		if sc.Count == 0 {
-			return
+			return nil
 		}
 		if sc.InterArrival == nil || sc.Size == nil {
 			panic(fmt.Sprintf("workload: %v stream missing samplers", op))
@@ -77,14 +86,18 @@ func Generate(cfg Config) *trace.Trace {
 		var now float64
 		for i := 0; i < sc.Count; i++ {
 			now += sc.InterArrival.Sample()
-			size := int(sc.Size.Sample())
+			s := sc.Size.Sample()
+			if s <= 0 {
+				return fmt.Errorf("workload: %v stream request %d: size sampler emitted non-positive value %v", op, i, s)
+			}
+			size := int(s)
 			if size < Block {
 				size = Block
 			}
-			if size > cfg.MaxSize {
-				size = cfg.MaxSize
-			}
 			size = (size + Block - 1) / Block * Block
+			if size > maxSize {
+				size = maxSize
+			}
 			out.Requests = append(out.Requests, trace.Request{
 				Op:      op,
 				LBA:     cfg.randomLBA(size),
@@ -92,14 +105,19 @@ func Generate(cfg Config) *trace.Trace {
 				Arrival: sim.Time(now),
 			})
 		}
+		return nil
 	}
-	genDir(cfg.Read, trace.Read)
-	genDir(cfg.Write, trace.Write)
+	if err := genDir(cfg.Read, trace.Read); err != nil {
+		return nil, err
+	}
+	if err := genDir(cfg.Write, trace.Write); err != nil {
+		return nil, err
+	}
 	out.Sort()
 	for i := range out.Requests {
 		out.Requests[i].ID = uint64(i)
 	}
-	return out
+	return out, nil
 }
 
 func (cfg Config) randomLBA(size int) uint64 {
@@ -140,7 +158,7 @@ type MicroConfig struct {
 }
 
 // Micro generates a micro trace (exponential everything, SCV 1).
-func Micro(mc MicroConfig) *trace.Trace {
+func Micro(mc MicroConfig) (*trace.Trace, error) {
 	rng := sim.NewRNG(mc.Seed)
 	cfg := Config{AddressSpace: mc.AddressSpace, RNG: rng}
 	if mc.ReadCount > 0 {
@@ -213,5 +231,5 @@ func Synthetic(sc SyntheticConfig) (*trace.Trace, error) {
 	if cfg.Write, err = build(sc.WriteCount, sc.WriteInterArrival, sc.WriteInterArrivalSCV, sc.WriteACF1, sc.WriteMeanSize, sc.WriteSizeSCV); err != nil {
 		return nil, err
 	}
-	return Generate(cfg), nil
+	return Generate(cfg)
 }

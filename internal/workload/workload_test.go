@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"srcsim/internal/dist"
@@ -9,8 +10,18 @@ import (
 	"srcsim/internal/trace"
 )
 
+// mustMicro generates a micro trace, failing the test on error.
+func mustMicro(tb testing.TB, mc MicroConfig) *trace.Trace {
+	tb.Helper()
+	tr, err := Micro(mc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
 func TestMicroStatistics(t *testing.T) {
-	tr := Micro(MicroConfig{
+	tr := mustMicro(t, MicroConfig{
 		Seed:      1,
 		ReadCount: 20000, WriteCount: 20000,
 		ReadInterArrival: 10 * sim.Microsecond, WriteInterArrival: 20 * sim.Microsecond,
@@ -43,7 +54,7 @@ func TestMicroDeterminism(t *testing.T) {
 	mc := MicroConfig{Seed: 7, ReadCount: 500, WriteCount: 500,
 		ReadInterArrival: sim.Microsecond, WriteInterArrival: sim.Microsecond,
 		ReadMeanSize: 4096, WriteMeanSize: 4096}
-	a, b := Micro(mc), Micro(mc)
+	a, b := mustMicro(t, mc), mustMicro(t, mc)
 	if a.Len() != b.Len() {
 		t.Fatal("lengths differ")
 	}
@@ -53,7 +64,7 @@ func TestMicroDeterminism(t *testing.T) {
 		}
 	}
 	mc.Seed = 8
-	c := Micro(mc)
+	c := mustMicro(t, mc)
 	same := true
 	for i := range a.Requests {
 		if a.Requests[i] != c.Requests[i] {
@@ -67,7 +78,7 @@ func TestMicroDeterminism(t *testing.T) {
 }
 
 func TestGenerateInvariants(t *testing.T) {
-	tr := Micro(MicroConfig{Seed: 3, ReadCount: 5000, WriteCount: 5000,
+	tr := mustMicro(t, MicroConfig{Seed: 3, ReadCount: 5000, WriteCount: 5000,
 		ReadInterArrival: 5 * sim.Microsecond, WriteInterArrival: 5 * sim.Microsecond,
 		ReadMeanSize: 16 << 10, WriteMeanSize: 16 << 10,
 		AddressSpace: 1 << 30})
@@ -98,7 +109,7 @@ func TestGenerateRequiresRNG(t *testing.T) {
 			t.Fatal("missing RNG should panic")
 		}
 	}()
-	Generate(Config{})
+	Generate(Config{}) //nolint:errcheck // panics before returning
 }
 
 func TestGenerateMissingSamplerPanics(t *testing.T) {
@@ -107,7 +118,7 @@ func TestGenerateMissingSamplerPanics(t *testing.T) {
 			t.Fatal("missing sampler should panic")
 		}
 	}()
-	Generate(Config{RNG: sim.NewRNG(1), Read: StreamConfig{Count: 5}})
+	Generate(Config{RNG: sim.NewRNG(1), Read: StreamConfig{Count: 5}}) //nolint:errcheck // panics before returning
 }
 
 func TestHotFractionCreatesOverlap(t *testing.T) {
@@ -123,7 +134,10 @@ func TestHotFractionCreatesOverlap(t *testing.T) {
 		HotProb:      0.5,
 		RNG:          rng,
 	}
-	tr := Generate(cfg)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[uint64]int{}
 	dup := 0
 	for _, r := range tr.Requests {
@@ -228,7 +242,10 @@ func TestSCVClassStrings(t *testing.T) {
 func TestIntensityOrdering(t *testing.T) {
 	flows := map[IntensityLevel]float64{}
 	for _, level := range []IntensityLevel{Light, Moderate, Heavy} {
-		tr := Intensity(level, 3, 5000)
+		tr, err := Intensity(level, 3, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		s := trace.Extract(tr)
 		flows[level] = s.Read.FlowSpeed + s.Write.FlowSpeed
 	}
@@ -246,7 +263,7 @@ func TestIntensityPanicsOnUnknown(t *testing.T) {
 			t.Fatal("unknown level should panic")
 		}
 	}()
-	Intensity(IntensityLevel(42), 1, 10)
+	Intensity(IntensityLevel(42), 1, 10) //nolint:errcheck // panics before returning
 }
 
 func BenchmarkMicroGenerate(b *testing.B) {
@@ -255,6 +272,85 @@ func BenchmarkMicroGenerate(b *testing.B) {
 		ReadMeanSize: 44 << 10, WriteMeanSize: 23 << 10}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = Micro(mc)
+		_, _ = Micro(mc)
+	}
+}
+
+// negSampler violates the dist.Sampler contract after n good samples.
+type negSampler struct {
+	n int
+	v float64
+}
+
+func (s *negSampler) Sample() float64 {
+	if s.n > 0 {
+		s.n--
+		return 8192
+	}
+	return s.v
+}
+
+func (s *negSampler) Mean() float64 { return 8192 }
+
+func TestGenerateRejectsNonPositiveSizes(t *testing.T) {
+	for _, bad := range []float64{0, -512} {
+		cfg := Config{
+			Write: StreamConfig{
+				Count:        5,
+				InterArrival: dist.Constant{V: 1000},
+				Size:         &negSampler{n: 3, v: bad},
+			},
+			RNG: sim.NewRNG(1),
+		}
+		_, err := Generate(cfg)
+		if err == nil {
+			t.Fatalf("sampler value %v accepted", bad)
+		}
+		// The error must attribute the offending stream and request.
+		for _, want := range []string{"W stream", "request 3", "non-positive"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not mention %q", err, want)
+			}
+		}
+	}
+}
+
+func TestGenerateMaxSizeClampBoundary(t *testing.T) {
+	gen := func(sample float64, maxSize int) int {
+		t.Helper()
+		tr, err := Generate(Config{
+			Read: StreamConfig{
+				Count:        1,
+				InterArrival: dist.Constant{V: 1000},
+				Size:         dist.Constant{V: sample},
+			},
+			MaxSize: maxSize,
+			RNG:     sim.NewRNG(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Requests[0].Size
+	}
+	cases := []struct {
+		name    string
+		sample  float64
+		maxSize int
+		want    int
+	}{
+		{"under max unrounded", 5000, 1 << 20, 2 * Block},
+		{"exactly max", 1 << 20, 1 << 20, 1 << 20},
+		{"one byte over max", 1<<20 + 1, 1 << 20, 1 << 20},
+		{"just under max rounds to max", 1<<20 - 1, 1 << 20, 1 << 20},
+		{"far over max", 64 << 20, 1 << 20, 1 << 20},
+		// Unaligned ceiling: clamp lands on the block grid below it so
+		// round-up can never exceed MaxSize.
+		{"unaligned max", 3 << 20, 10000, 2 * Block},
+		{"sub-block max still one block", 1 << 20, 100, Block},
+	}
+	for _, tc := range cases {
+		if got := gen(tc.sample, tc.maxSize); got != tc.want {
+			t.Errorf("%s: sample %v maxSize %d: got %d, want %d", tc.name, tc.sample, tc.maxSize, got, tc.want)
+		}
 	}
 }
